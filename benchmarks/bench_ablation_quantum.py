@@ -1,0 +1,40 @@
+"""Ablation: DPNextFailure solution quality vs planning grid size.
+
+The schedules from coarser grids are re-scored with the exact
+Proposition-3 objective: the value should saturate quickly, justifying
+the default grid.
+"""
+
+import numpy as np
+
+from repro.core.state import PlatformState
+from repro.distributions import Weibull
+from repro.experiments.ablations import quantum_sensitivity
+from repro.cluster import scaled_petascale
+
+from _util import bench_scale, report, run_once
+
+
+def test_ablation_dp_grid_size(benchmark):
+    scale = bench_scale()
+    preset = scaled_petascale(scale.ptotal_peta)
+    dist = Weibull.from_mtbf(preset.processor_mtbf, 0.7)
+    state = PlatformState(
+        np.full(preset.ptotal, preset.start_offset), dist
+    ).compress()
+    work = 2 * preset.platform_mtbf
+
+    result = run_once(
+        benchmark,
+        lambda: quantum_sensitivity(
+            work, 600.0, state, grids=(12, 24, 48, 96, 192)
+        ),
+    )
+    lines = ["grid    E[work before failure] (s)"]
+    for n, v in result.items():
+        lines.append(f"{n:>4}    {v:.1f}")
+    report("ablation_dp_grid_size", "\n".join(lines))
+    values = list(result.values())
+    # quality saturates: the finest grid gains little over the default
+    assert values[-1] <= max(values) * 1.0 + 1e-9
+    assert result[96] > 0.98 * result[192]

@@ -1,0 +1,28 @@
+"""Section 3.3 precision study: relative error of the (nexact, napprox)
+platform-state compression for chunks of 2^-i x platform MTBF.
+
+Paper: worst relative error below 0.2% for a chunk of one platform MTBF
+(45,208 processors); error shrinks with the chunk size.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import state_approx_precision
+
+from _util import bench_scale, report, run_once
+
+
+def test_ablation_state_compression_precision(benchmark):
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        lambda: state_approx_precision(p=min(scale.ptotal_peta * 8, 8192)),
+    )
+    lines = ["chunk / platform-MTBF    relative error of Psuc"]
+    for f, e in zip(result.chunk_fractions, result.relative_errors):
+        lines.append(f"{f:>20.4f}    {e:.3e}")
+    report("ablation_state_compression", "\n".join(lines))
+    # the paper's 0.2% bound at the full-MTBF chunk
+    assert result.relative_errors[0] < 0.002
+    # error shrinks with chunk size (allow noise at the tiny end)
+    assert result.relative_errors[-1] <= result.relative_errors[0]

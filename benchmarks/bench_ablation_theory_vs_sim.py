@@ -1,0 +1,28 @@
+"""Ablation: Theorem 1's closed form vs Monte-Carlo simulation of the
+OptExp policy (engine validation)."""
+
+from repro.experiments.ablations import theory_vs_simulation
+from repro.units import DAY, HOUR
+
+from _util import bench_scale, report, run_once
+
+
+def test_ablation_theorem1_vs_simulation(benchmark):
+    scale = bench_scale()
+    n = max(40, scale.n_traces * 3)
+
+    def run():
+        rows = []
+        for mtbf in (6 * HOUR, DAY):
+            theory, sim, se = theory_vs_simulation(
+                mtbf=mtbf, work=10 * DAY, n_traces=n
+            )
+            rows.append((mtbf, theory, sim, se))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = [f"{'MTBF (h)':>9} {'E[T*] theory':>14} {'simulated':>12} {'std err':>9}"]
+    for mtbf, theory, sim, se in rows:
+        lines.append(f"{mtbf / 3600:9.1f} {theory:14.0f} {sim:12.0f} {se:9.0f}")
+        assert abs(sim - theory) < 4 * se + 0.005 * theory
+    report("ablation_theorem1_vs_simulation", "\n".join(lines))

@@ -1,0 +1,41 @@
+"""Ablation: the 2 x platform-MTBF work-truncation rule (Section 3.3).
+
+Planning more than ~2 MTBFs ahead buys essentially nothing: with high
+probability a failure voids the tail of the plan.  The bench compares
+the per-unit-work value of plans truncated at several multiples.
+"""
+
+import numpy as np
+
+from repro.cluster import scaled_petascale
+from repro.core.state import PlatformState
+from repro.distributions import Weibull
+from repro.experiments.ablations import truncation_study
+
+from _util import bench_scale, report, run_once
+
+
+def test_ablation_truncation_factor(benchmark):
+    scale = bench_scale()
+    preset = scaled_petascale(scale.ptotal_peta)
+    dist = Weibull.from_mtbf(preset.processor_mtbf, 0.7)
+    state = PlatformState(
+        np.full(preset.ptotal, preset.start_offset), dist
+    ).compress()
+    mtbf = preset.platform_mtbf
+    work = preset.work / preset.ptotal
+
+    result = run_once(
+        benchmark,
+        lambda: truncation_study(
+            work, 600.0, state, mtbf, factors=(0.5, 1.0, 2.0, 4.0)
+        ),
+    )
+    lines = ["truncation x MTBF    E[work]/planned-work"]
+    for f, v in result.items():
+        lines.append(f"{f:>17.1f}    {v:.4f}")
+    report("ablation_truncation_factor", "\n".join(lines))
+    # the fraction of planned work expected to complete falls with the
+    # horizon — most of a >2xMTBF plan is dead weight
+    vals = [result[f] for f in (0.5, 1.0, 2.0, 4.0)]
+    assert vals[0] > vals[1] > vals[2] > vals[3]

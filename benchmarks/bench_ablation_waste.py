@@ -1,0 +1,31 @@
+"""Ablation: waste breakdown of the Table-4 scenario.
+
+Expected shape: DPNextFailure spends *more* time checkpointing than
+Young (shorter chunks) but loses far less work to failures — the net is
+a smaller makespan.
+"""
+
+from repro.experiments.waste import run_waste_breakdown
+from repro.units import HOUR
+
+from _util import bench_scale, report, run_once
+
+
+def test_ablation_waste_breakdown(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, lambda: run_waste_breakdown(scale=scale))
+    lines = [
+        f"{'policy':>15} {'work(h)':>9} {'ckpt(h)':>8} {'lost(h)':>8} "
+        f"{'outage(h)':>9} {'makespan(h)':>11}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.policy:>15} {r.work / HOUR:>9.1f} "
+            f"{r.checkpointing / HOUR:>8.1f} {r.lost / HOUR:>8.1f} "
+            f"{r.outage / HOUR:>9.1f} {r.makespan / HOUR:>11.1f}"
+        )
+    report("ablation_waste_breakdown", "\n".join(lines))
+    by_name = {r.policy: r for r in rows}
+    dp, young = by_name["DPNextFailure"], by_name["Young"]
+    # the adaptive policy trades checkpoint time for lost work
+    assert dp.lost < young.lost

@@ -1,0 +1,47 @@
+"""Appendix D (Figures 98-99): absolute average makespan (days) vs p per
+application profile.
+
+Paper shape: the embarrassingly-parallel profile keeps improving with p;
+the Amdahl gamma=1e-4 profile flattens early; the numerical-kernel
+profiles sit between, and under failures enrolling the whole machine is
+no longer always best.
+"""
+
+from repro.analysis import format_series
+from repro.experiments.profiles import run_profile_experiment
+
+from _util import bench_scale, report, run_once
+
+
+def test_appendix_profiles_optexp_exponential(benchmark):
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        lambda: run_profile_experiment("exponential", policy="OptExp", scale=scale),
+    )
+    text = format_series(
+        "p",
+        result.p_values,
+        result.makespan_days,
+        title="Average makespan (days) vs p, OptExp, Exponential failures",
+        fmt="9.2f",
+    )
+    report("appendix_profiles_optexp", text)
+
+
+def test_appendix_profiles_dpnf_weibull(benchmark):
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        lambda: run_profile_experiment(
+            "weibull", policy="DPNextFailure", scale=scale
+        ),
+    )
+    text = format_series(
+        "p",
+        result.p_values,
+        result.makespan_days,
+        title="Average makespan (days) vs p, DPNextFailure, Weibull k=0.7",
+        fmt="9.2f",
+    )
+    report("appendix_profiles_dpnf", text)

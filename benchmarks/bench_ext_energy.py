@@ -1,0 +1,46 @@
+"""Extension bench (Section 8 future work): makespan / energy trade-off
+for periodic policies around the OptExp period.
+
+Expected shape: energy is minimized at a period >= the makespan-optimal
+one whenever checkpoint I/O power is significant — stretching the period
+trades a slightly longer run for fewer expensive checkpoints.
+"""
+
+from repro.cluster import ConstantOverhead, Platform, scaled_petascale
+from repro.distributions import Weibull
+from repro.experiments.energy import run_energy_tradeoff
+from repro.units import DAY
+
+from _util import bench_scale, report, run_once
+
+
+def test_extension_energy_tradeoff(benchmark):
+    scale = bench_scale()
+    preset = scaled_petascale(scale.ptotal_peta)
+    dist = Weibull.from_mtbf(preset.processor_mtbf, 0.7)
+    platform = Platform(
+        p=preset.ptotal,
+        dist=dist,
+        downtime=preset.downtime,
+        overhead=ConstantOverhead(preset.overhead_seconds),
+    )
+    points = run_once(
+        benchmark,
+        lambda: run_energy_tradeoff(
+            platform,
+            work_time=preset.work / preset.ptotal,
+            horizon=preset.horizon,
+            t0=preset.start_offset,
+            n_traces=max(4, scale.n_traces // 4),
+        ),
+    )
+    lines = [f"{'period factor':>13} {'makespan (d)':>13} {'energy (MJ)':>12}"]
+    for pt in points:
+        lines.append(
+            f"{pt.period_factor:>13.2f} {pt.mean_makespan / DAY:>13.2f} "
+            f"{pt.mean_energy_joules / 1e6:>12.1f}"
+        )
+    report("extension_energy_tradeoff", "\n".join(lines))
+    # the frontier exists: neither makespan nor energy is monotone-free
+    spans = [pt.mean_makespan for pt in points]
+    assert min(spans) < spans[-1]  # over-stretching hurts makespan

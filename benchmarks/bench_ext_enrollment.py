@@ -1,0 +1,43 @@
+"""Extension bench (Section 8): optimal number of processors to enroll.
+
+Expected shape: with the paper's reliability every profile still prefers
+the full platform (failures cost less than halving the compute); on a
+30x less reliable platform the Amdahl-heavy profile's optimum moves
+strictly inside the machine.
+"""
+
+from repro.analysis import format_series
+from repro.experiments.enrollment import run_optimal_enrollment
+from repro.units import DAY
+
+from _util import bench_scale, report, run_once
+
+
+def test_extension_optimal_enrollment(benchmark):
+    scale = bench_scale()
+
+    def run():
+        return (
+            run_optimal_enrollment(scale=scale, dist_kind="weibull"),
+            run_optimal_enrollment(
+                scale=scale, dist_kind="weibull", mtbf_factor=1.0 / 30.0
+            ),
+        )
+
+    reliable, fragile = run_once(benchmark, run)
+    blocks = []
+    for label, res in (("paper reliability", reliable), ("30x more failures", fragile)):
+        series = {k: [v / DAY for v in vals] for k, vals in res.makespans.items()}
+        blocks.append(
+            format_series(
+                "p", res.p_values, series,
+                title=f"Mean makespan (days) vs enrollment — {label}",
+                fmt="9.2f",
+            )
+        )
+        blocks.append(
+            "optimal enrollment per profile: "
+            + ", ".join(f"{k}: {v}" for k, v in res.best_p.items())
+        )
+    report("extension_optimal_enrollment", "\n\n".join(blocks))
+    assert reliable.best_p["W/p"] == reliable.p_values[-1]

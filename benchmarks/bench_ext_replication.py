@@ -1,0 +1,32 @@
+"""Extension bench (Section 8): replication on platform halves.
+
+Expected shape: at the paper's reliability level replication loses
+(double compute, failures too rare to matter); as the processor MTBF
+shrinks, the synchronized-replication curve crosses below the
+unreplicated one — the open question the paper poses, quantified.
+"""
+
+from repro.experiments.replication import run_replication_experiment
+from repro.units import DAY
+
+from _util import bench_scale, report, run_once
+
+
+def test_extension_replication_crossover(benchmark):
+    scale = bench_scale()
+    points = run_once(
+        benchmark, lambda: run_replication_experiment(scale=scale)
+    )
+    lines = [
+        f"{'MTBF factor':>11} {'platform MTBF (s)':>18} {'full (d)':>9} "
+        f"{'indep (d)':>10} {'sync (d)':>9} {'replication wins':>17}"
+    ]
+    for pt in points:
+        lines.append(
+            f"{pt.mtbf_factor:>11.3f} {pt.platform_mtbf:>18.0f} "
+            f"{pt.full / DAY:>9.2f} {pt.independent / DAY:>10.2f} "
+            f"{pt.synchronized / DAY:>9.2f} {str(pt.replication_wins):>17}"
+        )
+    report("extension_replication_crossover", "\n".join(lines))
+    # reliable end: replication must lose
+    assert not points[0].replication_wins

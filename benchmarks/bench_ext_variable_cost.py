@@ -1,0 +1,48 @@
+"""Extension bench (Section 8): progress-dependent checkpoint cost.
+
+Compares the constant-cost Theorem-1 plan with the extended DP under
+shrinking/growing state profiles, reporting expected makespans and the
+drift of checkpoint placement toward the cheap region.
+"""
+
+import numpy as np
+
+from repro.core.theory import expected_makespan_optimal
+from repro.core.variable_cost import dp_makespan_variable_cost
+from repro.units import DAY, HOUR
+
+from _util import report, run_once
+
+
+def test_extension_variable_checkpoint_cost(benchmark):
+    lam, work, d = 1 / (6 * HOUR), 24 * HOUR, 60.0
+
+    def run():
+        const = dp_makespan_variable_cost(
+            work, lambda _: 600.0, lam, d, n_grid=288
+        )
+        shrink = dp_makespan_variable_cost(
+            work, lambda rem: 60.0 + 1740.0 * rem / work, lam, d, n_grid=288
+        )
+        grow = dp_makespan_variable_cost(
+            work, lambda rem: 60.0 + 1740.0 * (1 - rem / work), lam, d, n_grid=288
+        )
+        return const, shrink, grow
+
+    const, shrink, grow = run_once(benchmark, run)
+    theory = expected_makespan_optimal(lam, work, 600.0, d, 600.0)
+    lines = [
+        f"constant C=600: E[T] {const.expected_makespan / HOUR:.2f} h "
+        f"({len(const.chunks)} chunks; Theorem 1: "
+        f"{theory.expected_makespan / HOUR:.2f} h)",
+        f"shrinking cost: E[T] {shrink.expected_makespan / HOUR:.2f} h, "
+        f"first/last chunk {shrink.chunks[0] / HOUR:.2f}/"
+        f"{shrink.chunks[-1] / HOUR:.2f} h",
+        f"growing cost:   E[T] {grow.expected_makespan / HOUR:.2f} h, "
+        f"first/last chunk {grow.chunks[0] / HOUR:.2f}/"
+        f"{grow.chunks[-1] / HOUR:.2f} h",
+    ]
+    report("extension_variable_cost", "\n".join(lines))
+    # checkpoints drift toward the cheap region
+    assert shrink.chunks[-1] < shrink.chunks[0]
+    assert grow.chunks[-1] > grow.chunks[0]

@@ -1,0 +1,27 @@
+"""Figure 1: platform MTBF vs processor count, both rejuvenation options
+(Weibull k=0.7, processor MTBF 125 y, downtime 60 s).
+
+Paper shape: the no-rejuvenation curve is a straight line of slope -1 in
+log2-log2; the all-rejuvenation curve falls with slope -1/k ~ -1.43 and
+sits far below at large p.
+"""
+
+from repro.analysis import format_series
+from repro.experiments.rejuvenation_fig import run_rejuvenation_figure
+
+from _util import report, run_once
+
+
+def test_fig1_rejuvenation_mtbf(benchmark):
+    fig = run_once(benchmark, run_rejuvenation_figure)
+    text = format_series(
+        "log2(p)",
+        list(fig.p_exponents),
+        {
+            "with rejuvenation": fig.log2_mtbf_with_rejuvenation,
+            "without rejuvenation": fig.log2_mtbf_without_rejuvenation,
+        },
+        title="log2(platform MTBF in seconds) vs log2(processors)",
+        fmt="8.2f",
+    )
+    report("fig1_rejuvenation_mtbf", text)

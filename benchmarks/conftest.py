@@ -1,0 +1,3 @@
+"""Benchmark session configuration (kept minimal; result tables are
+echoed to the real terminal by ``_util.report`` and archived under
+``benchmarks/results/``)."""

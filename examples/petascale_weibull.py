@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The paper's headline scenario: a tightly-coupled job on a Jaguar-like
+platform with Weibull failures (Table 4 / Figure 4).
+
+Real HPC failure logs fit Weibull laws with shape k < 1 (decreasing
+hazard): a processor is *less* likely to fail the longer it has been up.
+MTBF-based periodic rules (Young/Daly) ignore this and under-checkpoint
+on a nearly-fresh platform; the DPNextFailure dynamic program reads the
+actual processor ages and adapts — the paper's key result.
+
+Run:  python examples/petascale_weibull.py [--procs 512] [--traces 12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.cluster import ConstantOverhead, Platform, scaled_petascale
+from repro.distributions import Weibull
+from repro.policies import Bouguerra, DalyHigh, DPNextFailurePolicy, OptExp, Young
+from repro.simulation import simulate_job, simulate_lower_bound
+from repro.traces import generate_platform_traces
+from repro.units import DAY
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--procs", type=int, default=512,
+                    help="platform size (scaled stand-in for Jaguar's 45208)")
+    ap.add_argument("--traces", type=int, default=12)
+    ap.add_argument("--shape", type=float, default=0.7,
+                    help="Weibull shape parameter k")
+    args = ap.parse_args()
+
+    preset = scaled_petascale(args.procs)
+    dist = Weibull.from_mtbf(preset.processor_mtbf, args.shape)
+    platform = Platform(
+        p=preset.ptotal,
+        dist=dist,
+        downtime=preset.downtime,
+        overhead=ConstantOverhead(preset.overhead_seconds),
+    )
+    work = preset.work / preset.ptotal
+    print(f"Platform: {preset.ptotal} processors, platform MTBF "
+          f"{platform.platform_mtbf / 3600:.1f} h, job {work / DAY:.1f} days, "
+          f"C=R={platform.checkpoint:.0f}s, Weibull k={args.shape}")
+
+    policies = [Young(), DalyHigh(), OptExp(), Bouguerra(), DPNextFailurePolicy()]
+    spans = {p.name: [] for p in policies}
+    spans["LowerBound"] = []
+    fails = []
+    for i in range(args.traces):
+        tr = generate_platform_traces(
+            dist, preset.ptotal, preset.horizon,
+            downtime=preset.downtime, seed=i,
+        ).for_job(preset.ptotal)
+        for pol in policies:
+            res = simulate_job(
+                pol, work, tr, platform.checkpoint, platform.recovery, dist,
+                t0=preset.start_offset, platform_mtbf=platform.platform_mtbf,
+            )
+            spans[pol.name].append(res.makespan)
+            if pol.name == "DPNextFailure":
+                fails.append(res.n_failures)
+        spans["LowerBound"].append(
+            simulate_lower_bound(
+                work, tr, platform.checkpoint, platform.recovery,
+                t0=preset.start_offset,
+            ).makespan
+        )
+
+    arr = {k: np.asarray(v) for k, v in spans.items()}
+    best = np.min(np.vstack([v for k, v in arr.items() if k != "LowerBound"]), axis=0)
+    print(f"\n{'policy':>15}  {'makespan (d)':>12}  {'degradation':>11}")
+    for name, v in sorted(arr.items(), key=lambda kv: kv[1].mean()):
+        print(f"{name:>15}  {v.mean() / DAY:12.2f}  {np.mean(v / best):11.4f}")
+    print(f"\nDPNextFailure failures per run: avg {np.mean(fails):.1f}, "
+          f"max {np.max(fails)} (the paper's spare-processor guidance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: checkpoint a job on a failure-prone processor.
+
+Walks through the library's core loop in five steps:
+
+1. pick a failure law (Exponential with a 1-day MTBF),
+2. compute the *optimal* checkpoint plan from Theorem 1,
+3. generate a failure trace and simulate the execution,
+4. compare against Young's classic rule of thumb,
+5. show the omniscient lower bound for context.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import expected_makespan_optimal
+from repro.distributions import Exponential
+from repro.policies import OptExp, Young
+from repro.simulation import simulate_job, simulate_lower_bound
+from repro.traces import generate_platform_traces
+from repro.units import DAY, HOUR
+
+CHECKPOINT = 600.0  # 10 min to save state
+RECOVERY = 600.0  # 10 min to restore it
+DOWNTIME = 60.0  # 1 min to reboot / swap in a spare
+WORK = 20 * DAY  # three weeks of compute
+MTBF = DAY  # one failure per day on average
+
+
+def main() -> None:
+    dist = Exponential.from_mtbf(MTBF)
+
+    # -- 1. the closed-form optimum (Theorem 1) ------------------------
+    plan = expected_makespan_optimal(
+        1.0 / MTBF, WORK, CHECKPOINT, DOWNTIME, RECOVERY
+    )
+    print(f"Optimal plan: {plan.num_chunks} chunks of "
+          f"{plan.chunk_size / HOUR:.2f} h")
+    print(f"Expected makespan: {plan.expected_makespan / DAY:.2f} days "
+          f"(failure-free would be {WORK / DAY:.0f} days)")
+
+    # -- 2. simulate against a concrete failure trace ------------------
+    traces = generate_platform_traces(
+        dist, n_units=1, horizon=80 * WORK, downtime=DOWNTIME, seed=42
+    ).for_job(1)
+
+    for policy in (OptExp(), Young()):
+        res = simulate_job(
+            policy, WORK, traces, CHECKPOINT, RECOVERY, dist,
+            platform_mtbf=MTBF,
+        )
+        print(f"{policy.name:>8}: makespan {res.makespan / DAY:6.2f} days, "
+              f"{res.n_failures} failures, {res.n_checkpoints} checkpoints")
+
+    # -- 3. how close is that to perfection? ---------------------------
+    lb = simulate_lower_bound(WORK, traces, CHECKPOINT, RECOVERY)
+    print(f"Omniscient lower bound: {lb.makespan / DAY:.2f} days "
+          "(knows every failure date in advance)")
+
+
+if __name__ == "__main__":
+    main()

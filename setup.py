@@ -1,0 +1,7 @@
+"""Legacy shim so `python setup.py develop` works in offline
+environments lacking the `wheel` package (PEP 660 editable installs need
+it).  Normal installs should use `pip install -e .`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of *Checkpointing strategies for parallel jobs*.
+
+Bougeret, Casanova, Rabie, Robert, Vivien — SC 2011 (INRIA RR-7520).
+
+The package provides:
+
+- :mod:`repro.distributions` — failure inter-arrival time distributions
+  (Exponential, Weibull, Gamma, LogNormal, Empirical) with the conditional
+  survival machinery the paper's algorithms need.
+- :mod:`repro.core` — the paper's contribution: the sequential optimum
+  (Theorem 1), its parallel extension (Proposition 5), and the
+  ``DPMakespan`` / ``DPNextFailure`` dynamic programs.
+- :mod:`repro.cluster` — platform, work-model and checkpoint-overhead
+  models plus the paper's platform presets (Table 1).
+- :mod:`repro.traces` — per-processor failure trace generation and
+  synthetic LANL-like failure logs.
+- :mod:`repro.simulation` — a discrete-event simulator of checkpoint /
+  restart execution of tightly-coupled parallel jobs.
+- :mod:`repro.policies` — all checkpointing policies evaluated in the
+  paper (Young, Daly, Liu, Bouguerra, OptExp, PeriodLB, the DP policies
+  and the omniscient LowerBound).
+- :mod:`repro.analysis` — degradation-from-best statistics and the
+  rejuvenation MTBF analytics of Figure 1.
+- :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Result analysis: degradation statistics and rejuvenation analytics."""
+
+from repro.analysis.degradation import DegradationStats, degradation_from_best
+from repro.analysis.rejuvenation import (
+    estimate_platform_mtbf_mc,
+    platform_mtbf_all_rejuvenation,
+    platform_mtbf_single_rejuvenation,
+)
+from repro.analysis.tables import format_degradation_table, format_series
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.validation import (
+    empirical_cdf,
+    ks_pvalue,
+    ks_statistic,
+    ks_test,
+    qq_points,
+)
+
+__all__ = [
+    "ascii_chart",
+    "empirical_cdf",
+    "ks_statistic",
+    "ks_pvalue",
+    "ks_test",
+    "qq_points",
+    "DegradationStats",
+    "degradation_from_best",
+    "platform_mtbf_all_rejuvenation",
+    "platform_mtbf_single_rejuvenation",
+    "estimate_platform_mtbf_mc",
+    "format_degradation_table",
+    "format_series",
+]

@@ -1,0 +1,74 @@
+"""Bootstrap confidence intervals for degradation statistics.
+
+The paper reports averages and standard deviations over 600 traces; at
+laptop scale the trace counts are smaller, so the benches can attach
+bootstrap confidence intervals to make clear which orderings are
+resolved and which are within noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_mean_ci", "degradation_cis"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    mean: float
+    lo: float
+    hi: float
+    level: float
+
+    def overlaps(self, other: "BootstrapCI") -> bool:
+        """True if the two intervals intersect (orderings unresolved)."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+
+def bootstrap_mean_ci(
+    samples,
+    level: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for the mean (NaNs dropped)."""
+    x = np.asarray(samples, dtype=float)
+    x = x[np.isfinite(x)]
+    if x.size == 0:
+        raise ValueError("no finite samples")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, x.size, size=(n_resamples, x.size))
+    means = x[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    return BootstrapCI(
+        mean=float(x.mean()),
+        lo=float(np.quantile(means, alpha)),
+        hi=float(np.quantile(means, 1.0 - alpha)),
+        level=level,
+    )
+
+
+def degradation_cis(
+    makespans: dict[str, np.ndarray],
+    exclude_from_best: tuple[str, ...] = ("LowerBound",),
+    level: float = 0.95,
+    seed: int = 0,
+) -> dict[str, BootstrapCI]:
+    """Per-policy CIs of the mean degradation-from-best.
+
+    Resamples whole traces (keeping each trace's per-policy makespans
+    together) so the per-trace normalization stays coherent.
+    """
+    names = list(makespans)
+    arr = np.vstack([np.asarray(makespans[n], dtype=float) for n in names])
+    contenders = [i for i, n in enumerate(names) if n not in exclude_from_best]
+    best = np.nanmin(arr[contenders], axis=0)
+    deg = arr / best[None, :]
+    out = {}
+    for i, name in enumerate(names):
+        row = deg[i][np.isfinite(deg[i])]
+        if row.size:
+            out[name] = bootstrap_mean_ci(row, level=level, seed=seed)
+    return out

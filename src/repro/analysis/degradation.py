@@ -1,0 +1,62 @@
+"""Degradation-from-best: the paper's comparison metric (Section 4.1).
+
+For each trace ``i`` and heuristic ``j`` with makespan ``res(i,j)``, the
+degradation is ``res(i,j) / min_{j != LowerBound} res(i,j)`` — how much
+worse the heuristic is than the best (non-omniscient) heuristic on that
+very trace.  The statistic reported is the average over traces (the
+omniscient LowerBound typically scores below 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.runner import LOWER_BOUND
+
+__all__ = ["DegradationStats", "degradation_from_best"]
+
+
+@dataclass(frozen=True)
+class DegradationStats:
+    """Average degradation-from-best of one heuristic."""
+
+    avg: float
+    std: float
+    n_valid: int
+
+
+def degradation_from_best(
+    makespans: dict[str, np.ndarray],
+    exclude_from_best: tuple[str, ...] = (LOWER_BOUND,),
+) -> dict[str, DegradationStats]:
+    """Compute per-heuristic degradation statistics.
+
+    ``makespans`` maps heuristic name to per-trace makespans; NaN marks
+    an infeasible (policy, trace) pair and is ignored both in the
+    per-trace minimum and in the averages.
+    """
+    names = list(makespans)
+    arr = np.vstack([np.asarray(makespans[n], dtype=float) for n in names])
+    contenders = [i for i, n in enumerate(names) if n not in exclude_from_best]
+    if not contenders:
+        raise ValueError("no heuristic eligible for the per-trace best")
+    best = np.nanmin(arr[contenders], axis=0)
+    if np.any(~np.isfinite(best)):
+        raise ValueError("some trace has no finite makespan among contenders")
+    deg = arr / best[None, :]
+    out: dict[str, DegradationStats] = {}
+    for i, n in enumerate(names):
+        row = deg[i]
+        valid = np.isfinite(row)
+        if valid.any():
+            out[n] = DegradationStats(
+                avg=float(np.mean(row[valid])),
+                std=float(np.std(row[valid])),
+                n_valid=int(valid.sum()),
+            )
+        else:
+            out[n] = DegradationStats(avg=math.nan, std=math.nan, n_valid=0)
+    return out

@@ -1,0 +1,85 @@
+"""ASCII line charts for terminal rendering of the paper's figures.
+
+No plotting dependency is available offline, so the CLI and examples
+render series as character grids — enough to see shapes, crossovers and
+orderings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs,
+    series: dict[str, list[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render named series over a shared x-axis as an ASCII grid.
+
+    NaNs (infeasible points) are skipped.  Each series gets a marker
+    from ``oxX+*...``; the legend maps markers back to names.
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size == 0 or not series:
+        raise ValueError("need at least one x value and one series")
+    names = list(series)
+    if len(names) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    ys_all = []
+    for name in names:
+        ys = np.asarray(series[name], dtype=float)
+        if ys.shape != xs.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        ys_all.append(ys)
+    stacked = np.concatenate(ys_all)
+    finite = stacked[np.isfinite(stacked)]
+    if finite.size == 0:
+        raise ValueError("no finite data to plot")
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if logy:
+        if y_lo <= 0:
+            raise ValueError("logy requires positive values")
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, ys in zip(_MARKERS, ys_all):
+        for x, y in zip(xs, ys):
+            if not np.isfinite(y):
+                continue
+            yv = math.log10(y) if logy else y
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float) -> str:
+        return f"{10**v:.4g}" if logy else f"{v:.4g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{fmt(y_hi):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{fmt(y_lo):>10} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_lo:<.6g}" + " " * max(1, width - 24) + f"{x_hi:>.6g}"
+    )
+    legend = "   ".join(f"{m}={n}" for m, n in zip(_MARKERS, names))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

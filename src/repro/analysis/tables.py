@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment outputs (paper-style rows)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.degradation import DegradationStats
+
+__all__ = ["format_degradation_table", "format_series"]
+
+
+def format_degradation_table(
+    stats: dict[str, DegradationStats],
+    title: str = "",
+    order: list[str] | None = None,
+) -> str:
+    """Render ``Heuristic | avg | std`` rows like the paper's tables."""
+    names = order if order is not None else list(stats)
+    width = max((len(n) for n in names), default=9)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'Heuristic'.ljust(width)}  {'avg':>9}  {'std':>9}")
+    for name in names:
+        s = stats.get(name)
+        if s is None or math.isnan(s.avg):
+            lines.append(f"{name.ljust(width)}  {'--':>9}  {'--':>9}")
+        else:
+            lines.append(f"{name.ljust(width)}  {s.avg:9.5f}  {s.std:9.5f}")
+    return "\n".join(lines)
+
+
+def format_series(
+    xlabel: str,
+    xs,
+    series: dict[str, list[float]],
+    title: str = "",
+    fmt: str = "9.4f",
+) -> str:
+    """Render one row per x-value, one column per named series — the
+    textual equivalent of the paper's line plots."""
+    names = list(series)
+    width = max([len(xlabel)] + [len(n) for n in names]) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{xlabel.ljust(width)}" + "".join(n.rjust(width) for n in names)
+    lines.append(header)
+    for i, x in enumerate(xs):
+        cells = []
+        for n in names:
+            v = series[n][i]
+            cells.append(
+                ("--".rjust(width))
+                if v is None or (isinstance(v, float) and math.isnan(v))
+                else format(v, fmt).rjust(width)
+            )
+        lines.append(f"{str(x).ljust(width)}" + "".join(cells))
+    return "\n".join(lines)

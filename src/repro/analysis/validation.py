@@ -1,0 +1,80 @@
+"""Goodness-of-fit utilities (implemented from scratch).
+
+Used to validate the stochastic substrates: that trace generators really
+sample the law they claim, that the synthetic LANL-like logs sit in the
+Weibull shape range of the real clusters, and that conditional sampling
+respects the conditional survival.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import FailureDistribution
+
+__all__ = [
+    "ks_statistic",
+    "ks_pvalue",
+    "ks_test",
+    "empirical_cdf",
+    "qq_points",
+]
+
+
+def empirical_cdf(samples, ts):
+    """Empirical cdf of ``samples`` evaluated at ``ts``."""
+    samples = np.sort(np.asarray(samples, dtype=float))
+    ts = np.asarray(ts, dtype=float)
+    return np.searchsorted(samples, ts, side="right") / samples.size
+
+
+def ks_statistic(samples, dist: FailureDistribution) -> float:
+    """One-sample Kolmogorov-Smirnov statistic
+    ``D_n = sup_t |F_n(t) - F(t)|``."""
+    x = np.sort(np.asarray(samples, dtype=float))
+    n = x.size
+    if n == 0:
+        raise ValueError("need samples")
+    cdf = np.asarray(dist.cdf(x), dtype=float)
+    d_plus = np.max(np.arange(1, n + 1) / n - cdf)
+    d_minus = np.max(cdf - np.arange(0, n) / n)
+    return float(max(d_plus, d_minus))
+
+
+def ks_pvalue(d: float, n: int, terms: int = 100) -> float:
+    """Asymptotic Kolmogorov distribution tail:
+
+        P(D_n > d) ~ 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 n d^2)
+
+    with the standard small-sample correction
+    ``x = d (sqrt(n) + 0.12 + 0.11/sqrt(n))``.
+    """
+    if d <= 0:
+        return 1.0
+    sqrt_n = math.sqrt(n)
+    x = d * (sqrt_n + 0.12 + 0.11 / sqrt_n)
+    total = 0.0
+    for j in range(1, terms + 1):
+        term = (-1) ** (j - 1) * math.exp(-2.0 * j * j * x * x)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return float(min(max(2.0 * total, 0.0), 1.0))
+
+
+def ks_test(samples, dist: FailureDistribution, alpha: float = 0.01) -> bool:
+    """True if the sample is *consistent* with ``dist`` at level
+    ``alpha`` (i.e. we fail to reject)."""
+    d = ks_statistic(samples, dist)
+    return ks_pvalue(d, len(samples)) > alpha
+
+
+def qq_points(samples, dist: FailureDistribution, n_points: int = 50):
+    """(theoretical, empirical) quantile pairs for QQ diagnostics."""
+    samples = np.sort(np.asarray(samples, dtype=float))
+    qs = (np.arange(1, n_points + 1) - 0.5) / n_points
+    emp = np.quantile(samples, qs)
+    theo = np.asarray(dist.quantile(qs), dtype=float)
+    return theo, emp

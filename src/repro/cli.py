@@ -1,0 +1,328 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``repro plan``        — Theorem 1's optimal plan for a sequential job.
+- ``repro simulate``    — simulate a policy over generated failure traces.
+- ``repro experiment``  — run a paper table/figure driver and print it.
+- ``repro mtbf``        — Figure-1 rejuvenation MTBF numbers.
+
+Durations accept suffixes: ``s`` (default), ``m``, ``h``, ``d``, ``w``,
+``y`` — e.g. ``--work 20d --mtbf 1w --checkpoint 600``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import DAY, HOUR, MINUTE, WEEK, YEAR
+
+__all__ = ["main", "parse_duration"]
+
+_SUFFIXES = {
+    "s": 1.0,
+    "m": MINUTE,
+    "h": HOUR,
+    "d": DAY,
+    "w": WEEK,
+    "y": YEAR,
+}
+
+
+def parse_duration(text: str) -> float:
+    """'600' -> 600 s, '20d' -> 20 days, '1.5h' -> 5400 s."""
+    text = text.strip().lower()
+    if not text:
+        raise argparse.ArgumentTypeError("empty duration")
+    if text[-1] in _SUFFIXES:
+        mult, body = _SUFFIXES[text[-1]], text[:-1]
+    else:
+        mult, body = 1.0, text
+    try:
+        value = float(body)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad duration {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError("duration must be positive")
+    return value * mult
+
+
+def _make_dist(args):
+    from repro.distributions import Exponential, Weibull
+
+    if args.dist == "exponential":
+        return Exponential.from_mtbf(args.mtbf)
+    return Weibull.from_mtbf(args.mtbf, args.shape)
+
+
+def _make_policy(name: str, args):
+    from repro.policies import (
+        Bouguerra,
+        DalyHigh,
+        DalyLow,
+        DPMakespanPolicy,
+        DPNextFailurePolicy,
+        Liu,
+        OptExp,
+        Young,
+    )
+    from repro.policies.base import PeriodicPolicy
+
+    table = {
+        "young": Young,
+        "dalylow": DalyLow,
+        "dalyhigh": DalyHigh,
+        "optexp": OptExp,
+        "bouguerra": Bouguerra,
+        "liu": Liu,
+        "dpnextfailure": DPNextFailurePolicy,
+        "dpmakespan": DPMakespanPolicy,
+    }
+    if name in table:
+        return table[name]()
+    if name.startswith("period:"):
+        return PeriodicPolicy(parse_duration(name.split(":", 1)[1]))
+    raise SystemExit(f"unknown policy {name!r}; choose from {sorted(table)}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_plan(args) -> int:
+    from repro.core import expected_makespan_optimal
+
+    plan = expected_makespan_optimal(
+        1.0 / args.mtbf, args.work, args.checkpoint, args.downtime, args.recovery
+    )
+    print(f"optimal chunks   : {plan.num_chunks}")
+    print(f"chunk size       : {plan.chunk_size:.1f} s "
+          f"({plan.chunk_size / HOUR:.3f} h)")
+    print(f"expected makespan: {plan.expected_makespan:.0f} s "
+          f"({plan.expected_makespan / DAY:.3f} d)")
+    print(f"failure-free time: {args.work:.0f} s ({args.work / DAY:.3f} d)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import numpy as np
+
+    from repro.simulation import simulate_job, simulate_lower_bound
+    from repro.traces import generate_platform_traces
+
+    dist = _make_dist(args)
+    mtbf_platform = (dist.mean() + args.downtime) / args.units
+    horizon = 60.0 * args.work / args.units + args.mtbf
+    spans, fails = [], []
+    for i in range(args.traces):
+        tr = generate_platform_traces(
+            dist, args.units, horizon, downtime=args.downtime, seed=[args.seed, i]
+        ).for_job(args.units)
+        res = simulate_job(
+            _make_policy(args.policy, args),
+            args.work / args.units,
+            tr,
+            args.checkpoint,
+            args.recovery,
+            dist,
+            platform_mtbf=mtbf_platform,
+        )
+        spans.append(res.makespan)
+        fails.append(res.n_failures)
+        if args.lower_bound:
+            lb = simulate_lower_bound(
+                args.work / args.units, tr, args.checkpoint, args.recovery
+            )
+            print(f"trace {i}: {res.makespan / DAY:8.3f} d "
+                  f"({res.n_failures} failures; lower bound "
+                  f"{lb.makespan / DAY:.3f} d)")
+        else:
+            print(f"trace {i}: {res.makespan / DAY:8.3f} d "
+                  f"({res.n_failures} failures)")
+    print(f"\n{args.policy}: mean makespan {np.mean(spans) / DAY:.3f} d "
+          f"over {args.traces} traces, avg failures {np.mean(fails):.1f}")
+    return 0
+
+
+_EXPERIMENTS = (
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+)
+
+
+def cmd_experiment(args) -> int:
+    from repro.analysis import ascii_chart, format_degradation_table, format_series
+    from repro.experiments import MEDIUM, SMALL, SMOKE
+    from repro.units import DAY as _DAY
+
+    scale = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM}[args.scale]
+    name = args.name
+
+    if name in ("table2", "table3"):
+        from repro.experiments.single_proc import run_single_proc_experiment
+
+        kind = "exponential" if name == "table2" else "weibull"
+        result = run_single_proc_experiment(kind, scale=scale)
+        for mtbf in result.mtbfs:
+            print(
+                format_degradation_table(
+                    result.stats[mtbf], title=f"-- MTBF {mtbf / HOUR:.0f} h --"
+                )
+            )
+            print()
+        return 0
+    if name == "table4":
+        from repro.experiments.scaling import run_table4
+
+        result = run_table4(scale=scale)
+        print(format_degradation_table(result.stats, title="Table 4"))
+        print(f"\nDPNextFailure failures/run: avg {result.dp_failures_avg:.1f}, "
+              f"max {result.dp_failures_max}")
+        return 0
+    if name == "fig1":
+        from repro.experiments.rejuvenation_fig import run_rejuvenation_figure
+
+        fig = run_rejuvenation_figure()
+        series = {
+            "with rejuvenation": fig.log2_mtbf_with_rejuvenation,
+            "without": fig.log2_mtbf_without_rejuvenation,
+        }
+        xs = list(fig.p_exponents)
+        if args.chart:
+            print(ascii_chart(xs, series, title="Figure 1: log2 platform MTBF"))
+        else:
+            print(format_series("log2(p)", xs, series, fmt="8.2f"))
+        return 0
+    if name == "fig5":
+        from repro.experiments.shape_sweep import run_shape_sweep
+
+        result = run_shape_sweep(scale=scale)
+        xs, series = list(result.shapes), result.series()
+        if args.chart:
+            print(ascii_chart(xs, series, title="Figure 5"))
+        else:
+            print(format_series("k", xs, series))
+        return 0
+    if name == "fig7":
+        from repro.experiments.logbased import run_logbased_experiment
+
+        result = run_logbased_experiment(scale=scale)
+        if args.chart:
+            print(ascii_chart(result.p_values, result.series(), title="Figure 7"))
+        else:
+            print(format_series("p", result.p_values, result.series()))
+        return 0
+    # fig2/3/4/6: scaling figures
+    from repro.experiments.scaling import run_scaling_experiment
+
+    platform_kind = {"fig2": "peta", "fig3": "exa", "fig4": "peta", "fig6": "exa"}[name]
+    dist_kind = "exponential" if name in ("fig2", "fig3") else "weibull"
+    result = run_scaling_experiment(platform_kind, dist_kind, scale=scale)
+    if args.chart:
+        print(ascii_chart(result.p_values, result.series(), title=name))
+    else:
+        print(format_series("p", result.p_values, result.series()))
+    return 0
+
+
+def cmd_mtbf(args) -> int:
+    from repro.analysis import (
+        platform_mtbf_all_rejuvenation,
+        platform_mtbf_single_rejuvenation,
+    )
+    from repro.distributions import Weibull
+
+    dist = Weibull.from_mtbf(args.mtbf, args.shape)
+    w = platform_mtbf_all_rejuvenation(dist, args.p, args.downtime)
+    wo = platform_mtbf_single_rejuvenation(dist, args.p, args.downtime)
+    print(f"p = {args.p}, Weibull k = {args.shape}, "
+          f"processor MTBF {args.mtbf / YEAR:.1f} y")
+    print(f"platform MTBF with all-rejuvenation   : {w:12.1f} s")
+    print(f"platform MTBF with single-rejuvenation: {wo:12.1f} s "
+          f"({wo / w:.1f}x better)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def _add_common_scenario_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mtbf", type=parse_duration, default="1d",
+                   help="processor MTBF (default 1d)")
+    p.add_argument("--checkpoint", "-C", type=parse_duration, default="600",
+                   help="checkpoint duration (default 600 s)")
+    p.add_argument("--recovery", "-R", type=parse_duration, default="600",
+                   help="recovery duration (default 600 s)")
+    p.add_argument("--downtime", "-D", type=parse_duration, default="60",
+                   help="downtime after a failure (default 60 s)")
+    p.add_argument("--work", "-W", type=parse_duration, default="20d",
+                   help="total sequential workload (default 20 d)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Checkpointing strategies for parallel jobs (SC 2011) "
+        "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="Theorem 1's optimal periodic plan")
+    _add_common_scenario_args(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_sim = sub.add_parser("simulate", help="simulate a policy on traces")
+    _add_common_scenario_args(p_sim)
+    p_sim.add_argument("--dist", choices=("exponential", "weibull"),
+                       default="weibull")
+    p_sim.add_argument("--shape", "-k", type=float, default=0.7,
+                       help="Weibull shape (default 0.7)")
+    p_sim.add_argument("--units", "-p", type=int, default=1,
+                       help="processors (default 1)")
+    p_sim.add_argument("--policy", default="dpnextfailure",
+                       help="young|dalylow|dalyhigh|optexp|bouguerra|liu|"
+                            "dpnextfailure|dpmakespan|period:<duration>")
+    p_sim.add_argument("--traces", type=int, default=3)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--lower-bound", action="store_true",
+                       help="also print the omniscient lower bound")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", help="run a paper table/figure")
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.add_argument("--scale", choices=("smoke", "small", "medium"),
+                       default="smoke")
+    p_exp.add_argument("--chart", action="store_true",
+                       help="render figures as ASCII charts")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_mtbf = sub.add_parser("mtbf", help="Figure-1 rejuvenation analytics")
+    p_mtbf.add_argument("--p", type=int, default=45_208)
+    p_mtbf.add_argument("--shape", "-k", type=float, default=0.7)
+    p_mtbf.add_argument("--mtbf", type=parse_duration, default="125y")
+    p_mtbf.add_argument("--downtime", "-D", type=parse_duration, default="60")
+    p_mtbf.set_defaults(func=cmd_mtbf)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Platform and application models (Section 3.1 / Table 1)."""
+
+from repro.cluster.models import (
+    AmdahlLaw,
+    ConstantOverhead,
+    EmbarrassinglyParallel,
+    NumericalKernel,
+    OverheadModel,
+    Platform,
+    ProportionalOverhead,
+    WorkModel,
+)
+from repro.cluster.presets import (
+    EXASCALE,
+    PETASCALE,
+    SINGLE_PROC,
+    PlatformPreset,
+    scaled_exascale,
+    scaled_petascale,
+)
+
+__all__ = [
+    "WorkModel",
+    "EmbarrassinglyParallel",
+    "AmdahlLaw",
+    "NumericalKernel",
+    "OverheadModel",
+    "ConstantOverhead",
+    "ProportionalOverhead",
+    "Platform",
+    "PlatformPreset",
+    "SINGLE_PROC",
+    "PETASCALE",
+    "EXASCALE",
+    "scaled_petascale",
+    "scaled_exascale",
+]

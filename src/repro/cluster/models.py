@@ -1,0 +1,190 @@
+"""Job parallelism and checkpoint-overhead models (Section 3.1).
+
+Work models map a sequential workload ``W`` (seconds on one unit-speed
+processor) to the failure-free execution time ``W(p)`` on ``p``
+processors:
+
+- *embarrassingly parallel*: ``W(p) = W / p``;
+- *Amdahl*: ``W(p) = W/p + gamma*W`` (``gamma`` = sequential fraction);
+- *numerical kernels*: ``W(p) = W/p + gamma * W^{2/3} / sqrt(p)``
+  (matrix product / LU / QR on a 2-D processor grid; ``gamma`` =
+  communication-to-computation ratio).
+
+Overhead models give the checkpoint and recovery durations on ``p``
+processors:
+
+- *constant*: ``C(p) = R(p) = c`` (resilient-storage bandwidth bound);
+- *proportional*: ``C(p) = R(p) = c_ref * p_ref / p`` (per-processor
+  link bandwidth bound).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.distributions.base import FailureDistribution
+
+__all__ = [
+    "WorkModel",
+    "EmbarrassinglyParallel",
+    "AmdahlLaw",
+    "NumericalKernel",
+    "OverheadModel",
+    "ConstantOverhead",
+    "ProportionalOverhead",
+    "Platform",
+]
+
+
+class WorkModel(abc.ABC):
+    """Maps processor count to failure-free parallel execution time."""
+
+    @abc.abstractmethod
+    def time(self, p: int) -> float:
+        """``W(p)``: failure-free execution time on ``p`` processors."""
+
+    def speedup(self, p: int) -> float:
+        """``W(1) / W(p)``."""
+        return self.time(1) / self.time(p)
+
+
+@dataclass(frozen=True)
+class EmbarrassinglyParallel(WorkModel):
+    """``W(p) = W / p``."""
+
+    work: float
+
+    def time(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return self.work / p
+
+
+@dataclass(frozen=True)
+class AmdahlLaw(WorkModel):
+    """``W(p) = W/p + gamma*W`` with sequential fraction ``gamma``."""
+
+    work: float
+    gamma: float
+
+    def __post_init__(self):
+        if not 0 <= self.gamma < 1:
+            raise ValueError("gamma must be in [0, 1)")
+
+    def time(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return self.work / p + self.gamma * self.work
+
+
+@dataclass(frozen=True)
+class NumericalKernel(WorkModel):
+    """``W(p) = W/p + gamma * W^{2/3} / sqrt(p)``."""
+
+    work: float
+    gamma: float
+
+    def __post_init__(self):
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+
+    def time(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return self.work / p + self.gamma * self.work ** (2.0 / 3.0) / p**0.5
+
+
+class OverheadModel(abc.ABC):
+    """Checkpoint/recovery duration as a function of processor count."""
+
+    @abc.abstractmethod
+    def checkpoint(self, p: int) -> float:
+        """``C(p)``."""
+
+    def recovery(self, p: int) -> float:
+        """``R(p)``; the paper always uses ``R(p) = C(p)``."""
+        return self.checkpoint(p)
+
+
+@dataclass(frozen=True)
+class ConstantOverhead(OverheadModel):
+    """``C(p) = c`` independent of ``p``."""
+
+    c: float
+
+    def checkpoint(self, p: int) -> float:
+        return self.c
+
+
+@dataclass(frozen=True)
+class ProportionalOverhead(OverheadModel):
+    """``C(p) = c_ref * p_ref / p`` (paper: ``600 * 45208 / p`` seconds)."""
+
+    c_ref: float
+    p_ref: int
+
+    def checkpoint(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return self.c_ref * self.p_ref / p
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A job's execution environment.
+
+    Attributes
+    ----------
+    p:
+        Number of processors enrolled by the job.
+    dist:
+        Per-processor failure inter-arrival distribution (iid).
+    downtime:
+        ``D``: downtime after a failure (rejuvenation / spare swap).
+    overhead:
+        Checkpoint/recovery overhead model.
+    procs_per_node:
+        Failure granularity: a node failure takes down this many
+        processors at once (4 for the LANL clusters, 1 for synthetic
+        traces).
+    """
+
+    p: int
+    dist: FailureDistribution
+    downtime: float
+    overhead: OverheadModel
+    procs_per_node: int = 1
+
+    def __post_init__(self):
+        if self.p < 1:
+            raise ValueError("p must be >= 1")
+        if self.downtime < 0:
+            raise ValueError("downtime must be non-negative")
+        if self.procs_per_node < 1:
+            raise ValueError("procs_per_node must be >= 1")
+
+    @property
+    def checkpoint(self) -> float:
+        return self.overhead.checkpoint(self.p)
+
+    @property
+    def recovery(self) -> float:
+        return self.overhead.recovery(self.p)
+
+    @property
+    def num_nodes(self) -> int:
+        """Failure units used by the job."""
+        return -(-self.p // self.procs_per_node)
+
+    @property
+    def processor_mtbf(self) -> float:
+        """Per-processor MTBF (mean lifetime + downtime)."""
+        return self.dist.mean() + self.downtime
+
+    @property
+    def platform_mtbf(self) -> float:
+        """Platform MTBF under single-processor rejuvenation:
+        ``(mu + D) / n_units`` with ``n_units`` the failure units in use.
+        """
+        return self.processor_mtbf / self.num_nodes

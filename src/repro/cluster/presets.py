@@ -1,0 +1,151 @@
+"""Platform presets (Table 1) and laptop-scale reductions.
+
+Paper parameters:
+
+=========  =======  =====  ========  ===============  =========
+platform   ptotal     D     C, R      processor MTBF      W
+=========  =======  =====  ========  ===============  =========
+1-proc        1      60 s   600 s    1 h / 1 d / 1 w   20 days
+Petascale  45,208    60 s   600 s    125 y / 500 y     1,000 y
+Exascale    2^20     60 s   600 s    1,250 y           10,000 y
+=========  =======  =====  ========  ===============  =========
+
+``W`` is the total sequential workload; a job on ``p`` processors runs
+``W(p)`` under the chosen work model (8 days on the full Petascale
+platform, 3.5 days on the full Exascale platform, for embarrassingly
+parallel jobs).
+
+The *scaled* presets shrink ``ptotal`` while multiplying the
+per-processor MTBF and the workload by the same factor, preserving the
+two dimensionless ratios that drive every result: job duration /
+platform MTBF and C / platform MTBF, at every utilization fraction
+``p / ptotal``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import DAY, MINUTE, YEAR
+
+__all__ = [
+    "PlatformPreset",
+    "SINGLE_PROC",
+    "PETASCALE",
+    "EXASCALE",
+    "scaled_petascale",
+    "scaled_exascale",
+]
+
+
+@dataclass(frozen=True)
+class PlatformPreset:
+    """Immutable bundle of Table-1 parameters.
+
+    ``processor_mtbf`` is the default (first) MTBF column; alternatives
+    are produced with :meth:`with_mtbf`.
+    """
+
+    name: str
+    ptotal: int
+    downtime: float
+    overhead_seconds: float
+    processor_mtbf: float
+    work: float
+    horizon: float
+    start_offset: float
+    ref_ptotal: int | None = None  # original ptotal when this is a scaled preset
+
+    def with_mtbf(self, mtbf: float) -> "PlatformPreset":
+        """Same preset with an alternative processor MTBF (Table 1 has
+        125y/500y columns for Petascale)."""
+        return replace(self, processor_mtbf=mtbf)
+
+    @property
+    def scaling_ratio(self) -> float:
+        """``original ptotal / scaled ptotal`` (1 for unscaled presets).
+
+        Used to rescale the work-model gammas so that the fraction of
+        the platform at which the Amdahl sequential term (or the
+        numerical kernel's communication term) overtakes ``W/p`` is the
+        same as on the paper's platform.
+        """
+        return (self.ref_ptotal or self.ptotal) / self.ptotal
+
+    @property
+    def platform_mtbf(self) -> float:
+        """MTBF of the full platform under single-proc rejuvenation."""
+        return self.processor_mtbf / self.ptotal
+
+    def scale(self, ptotal: int) -> "PlatformPreset":
+        """Shrink to ``ptotal`` processors preserving the dimensionless
+        ratios (see module docstring).
+
+        Three ratios are preserved: ``C / platform-MTBF`` and
+        ``job-duration / platform-MTBF`` (processor MTBF and total work
+        scale with ``ptotal``), and the *age-freshness* ratio
+        ``start-offset / processor-MTBF`` (the warm-up before job start
+        scales likewise).  The last one matters most for Weibull
+        scenarios: the paper's processors are only ~1y old on a 125y
+        MTBF, i.e. nearly fresh, which is what makes the instantaneous
+        platform hazard several times the long-run MTBF-based rate and
+        gives the adaptive policies their edge.
+        """
+        factor = ptotal / self.ptotal
+        start = self.start_offset * factor
+        return replace(
+            self,
+            name=f"{self.name}-scaled-{ptotal}",
+            ptotal=ptotal,
+            processor_mtbf=self.processor_mtbf * factor,
+            work=self.work * factor,
+            start_offset=start,
+            # keep generous post-warm-up room: jobs on small fractions of
+            # the platform run for months
+            horizon=start + (self.horizon - self.start_offset),
+            ref_ptotal=self.ref_ptotal or self.ptotal,
+        )
+
+
+SINGLE_PROC = PlatformPreset(
+    name="one-processor",
+    ptotal=1,
+    downtime=60.0,
+    overhead_seconds=600.0,
+    processor_mtbf=DAY,
+    work=20 * DAY,
+    horizon=YEAR,
+    start_offset=0.0,
+)
+
+PETASCALE = PlatformPreset(
+    name="petascale-jaguar",
+    ptotal=45_208,
+    downtime=MINUTE,
+    overhead_seconds=600.0,
+    processor_mtbf=125 * YEAR,
+    work=1_000 * YEAR,
+    horizon=11 * YEAR,
+    start_offset=YEAR,
+)
+
+EXASCALE = PlatformPreset(
+    name="exascale",
+    ptotal=2**20,
+    downtime=MINUTE,
+    overhead_seconds=600.0,
+    processor_mtbf=1_250 * YEAR,
+    work=10_000 * YEAR,
+    horizon=11 * YEAR,
+    start_offset=YEAR,
+)
+
+
+def scaled_petascale(ptotal: int = 1024) -> PlatformPreset:
+    """Laptop-scale Petascale platform (default 1024 processors)."""
+    return PETASCALE.scale(ptotal)
+
+
+def scaled_exascale(ptotal: int = 2048) -> PlatformPreset:
+    """Laptop-scale Exascale platform (default 2048 processors)."""
+    return EXASCALE.scale(ptotal)

@@ -1,0 +1,197 @@
+"""DPNextFailure (Algorithm 2): maximize expected work before the next
+failure.
+
+The NextFailure objective (Proposition 3) for chunk sizes
+``omega_1..omega_K`` is
+
+    E[W] = sum_i omega_i * prod_{j<=i} Psuc(omega_j + C | t_j),
+
+where ``t_j`` is the failure-free time elapsed before chunk ``j`` starts.
+With a time quantum ``u`` the optimal chunking is computed by a dynamic
+program over states ``(x, n)`` — remaining work ``x*u`` and ``n`` chunks
+already completed — because the elapsed time at a state is the function
+``(X0 - x)*u + n*C`` of the state alone.
+
+The same DP solves the sequential case (one age ``tau``) and the parallel
+case (full platform state), because both reduce to a single collapsed
+log-survival advance table (:class:`repro.core.state.SurvivalTable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.state import PlatformState, SurvivalTable
+from repro.distributions.base import FailureDistribution
+
+__all__ = [
+    "DPNextFailureResult",
+    "dp_next_failure",
+    "dp_next_failure_parallel",
+    "expected_work_of_schedule",
+]
+
+
+@dataclass
+class DPNextFailureResult:
+    """Optimal chunk schedule and its objective value.
+
+    Attributes
+    ----------
+    chunks:
+        Chunk sizes (seconds of work) in execution order, assuming every
+        chunk succeeds.  ``sum(chunks) == x0 * u``.
+    expected_work:
+        The optimal ``E[W]``: expected work completed before the next
+        platform failure.
+    u:
+        The time quantum used.
+    """
+
+    chunks: np.ndarray
+    expected_work: float
+    u: float
+    _choice: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def first_chunk(self) -> float:
+        return float(self.chunks[0]) if self.chunks.size else 0.0
+
+
+def _solve(
+    table: SurvivalTable, x0: int, u: float, n_cap: int
+) -> DPNextFailureResult:
+    """Bottom-up DP over states (x remaining quanta, n chunks done).
+
+    Vectorized over both the chunk choice ``i`` and the chunk count ``n``
+    for each remaining-work level ``x``; the survival lattice makes every
+    probability exact regardless of how ``C`` relates to ``u``.
+
+    ``n_cap`` bounds the chunk-count dimension: states beyond it carry
+    (essentially) zero survival probability, so their continuation value
+    is taken as 0 — see :func:`_chunk_cap`.
+    """
+    # value[x, n] = optimal E[W] (seconds of work) from state (x, n);
+    # only entries with n <= min(x0 - x, n_cap) are meaningful; the
+    # column n_cap stays 0 (negligible-survival cutoff).
+    value = np.zeros((x0 + 1, n_cap + 1))
+    choice = np.zeros((x0 + 1, n_cap + 1), dtype=np.int64)
+    m2 = table.m2
+    for x in range(1, x0 + 1):
+        a = x0 - x
+        ivec = np.arange(1, x + 1)
+        nvec = np.arange(0, min(x0 - x, n_cap - 1) + 1)
+        # logp[n, i] = m2[a+i, n+1] - m2[a, n]
+        logp = m2[a + ivec][:, nvec + 1].T - m2[a, nvec][:, None]
+        succ = value[x - ivec][:, nvec + 1].T  # (n, i)
+        vals = np.exp(logp) * (ivec[None, :] * u + succ)
+        best = np.argmax(vals, axis=1)
+        value[x, nvec] = vals[nvec, best]
+        choice[x, nvec] = best + 1
+    # Reconstruct the schedule along the all-success path from (x0, 0).
+    chunks = []
+    x, n = x0, 0
+    while x > 0:
+        if n >= n_cap or choice[x, n] <= 0:
+            # beyond the survival cutoff every choice is value-0; emit
+            # the rest as one chunk (it will never be reached anyway)
+            chunks.append(x * u)
+            break
+        i = int(choice[x, n])
+        chunks.append(i * u)
+        x -= i
+        n += 1
+    return DPNextFailureResult(
+        chunks=np.asarray(chunks),
+        expected_work=float(value[x0, 0]),
+        u=u,
+        _choice=choice,
+    )
+
+
+def dp_next_failure(
+    work: float,
+    checkpoint: float,
+    dist: FailureDistribution,
+    u: float,
+    tau: float = 0.0,
+) -> DPNextFailureResult:
+    """Sequential DPNextFailure (Algorithm 2).
+
+    Parameters
+    ----------
+    work:
+        Remaining work ``omega`` in seconds (unit-speed processor).
+    checkpoint:
+        Checkpoint duration ``C``.
+    dist:
+        Failure inter-arrival distribution.
+    u:
+        Time quantum; ``work`` and ``checkpoint`` are rounded to the grid.
+    tau:
+        Time since the processor's last failure.
+    """
+    state = PlatformState([tau], dist)
+    return dp_next_failure_parallel(work, checkpoint, state, u)
+
+
+def _chunk_cap(
+    state: PlatformState, checkpoint: float, x0: int, log_cutoff: float = -14.0
+) -> int:
+    """Largest useful chunk-count index: once ``n`` checkpoints alone
+    push the platform's log-survival below ``log_cutoff`` (~1e-6), the
+    continuation value of any state is negligible and the DP can stop
+    tracking the dimension.  Keeps the survival-lattice size proportional
+    to the failure horizon instead of the work grid."""
+    n = 1
+    while n < x0 and float(state.log_psuc(n * checkpoint)) > log_cutoff:
+        n *= 2
+    return min(x0, n) + 1
+
+
+def dp_next_failure_parallel(
+    work: float,
+    checkpoint: float,
+    state: PlatformState,
+    u: float,
+) -> DPNextFailureResult:
+    """Parallel DPNextFailure: same DP, platform survival state.
+
+    ``state`` may be exact or compressed (see
+    :meth:`repro.core.state.PlatformState.compress`); either way the DP
+    cost is independent of the number of processors thanks to the
+    collapsed advance table.
+    """
+    if u <= 0:
+        raise ValueError("quantum u must be positive")
+    x0 = max(1, int(round(work / u)))
+    n_cap = _chunk_cap(state, checkpoint, x0)
+    table = SurvivalTable.build(state, u, checkpoint, na=x0, nb=n_cap + 1)
+    return _solve(table, x0, u, n_cap)
+
+
+def expected_work_of_schedule(
+    chunks,
+    checkpoint: float,
+    state: PlatformState,
+) -> float:
+    """Evaluate Proposition 3's closed form for an arbitrary schedule:
+
+        E[W] = sum_i omega_i prod_{j<=i} Psuc(omega_j + C | t_j)
+
+    Used by tests to check DP optimality against brute force, and by the
+    truncation ablation.
+    """
+    chunks = np.asarray(chunks, dtype=float)
+    if chunks.size == 0:
+        return 0.0
+    total = 0.0
+    log_prob = 0.0
+    elapsed = 0.0
+    for w in chunks:
+        log_prob += float(state.log_psuc(w + checkpoint, advance=elapsed))
+        elapsed += w + checkpoint
+        total += w * np.exp(log_prob)
+    return float(total)

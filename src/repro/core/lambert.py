@@ -1,0 +1,63 @@
+"""Lambert W function (principal branch), implemented from scratch.
+
+Theorem 1 and Proposition 5 express the optimal chunk count through the
+solution of ``L(z) e^{L(z)} = z`` for ``z = -e^{-lam*C - 1}``, which lies
+in ``(-1/e, 0)`` — inside the principal branch's domain ``[-1/e, inf)``
+with value in ``(-1, 0)``.
+
+We implement Halley's iteration with a series start near the branch point;
+tests cross-check against ``scipy.special.lambertw``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["lambert_w"]
+
+_INV_E = math.exp(-1.0)
+
+
+def _initial_guess(z: np.ndarray) -> np.ndarray:
+    """Piecewise starting point for Halley's iteration on branch 0."""
+    guess = np.empty_like(z)
+    # Near the branch point z = -1/e: series in p = sqrt(2(ez + 1)).
+    near = z < -0.25 * _INV_E
+    p = np.sqrt(np.maximum(2.0 * (math.e * z[near] + 1.0), 0.0))
+    guess[near] = -1.0 + p - p * p / 3.0 + (11.0 / 72.0) * p**3
+    # Moderate z: log1p(z) stays within a Halley step of the root.
+    mid = ~near & (z < math.e)
+    guess[mid] = np.log1p(z[mid])
+    # Large z: asymptotic log form (lz > 1 there, so log(lz) is safe).
+    big = ~near & ~mid
+    lz = np.log(z[big])
+    guess[big] = lz - np.log(lz)
+    return guess
+
+
+def lambert_w(z, tol: float = 1e-14, max_iter: int = 64):
+    """Principal-branch Lambert W for real ``z >= -1/e``.
+
+    Scalar or array input; raises ``ValueError`` below the branch point.
+    """
+    z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+    if np.any(z_arr < -_INV_E - 1e-12):
+        raise ValueError("lambert_w: argument below branch point -1/e")
+    z_arr = np.maximum(z_arr, -_INV_E)
+    w = _initial_guess(z_arr)
+    for _ in range(max_iter):
+        ew = np.exp(w)
+        f = w * ew - z_arr
+        # Halley step: f' = ew (w + 1), f'' = ew (w + 2).
+        wp1 = w + 1.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1)
+            step = np.where(
+                np.isfinite(denom) & (np.abs(denom) > 0), f / denom, 0.0
+            )
+        w = w - step
+        if np.all(np.abs(step) <= tol * (1.0 + np.abs(w))):
+            break
+    return float(w[0]) if np.isscalar(z) or np.asarray(z).ndim == 0 else w

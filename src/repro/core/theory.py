@@ -1,0 +1,112 @@
+"""Closed-form optima for Exponential failures.
+
+Implements:
+
+- Lemma 1: ``E[Tlost(x)]`` for Exponential failures.
+- Proposition 1's recovery expectation ``E[Trec]``.
+- Theorem 1: optimal chunk count ``K*`` and optimal expected makespan for
+  a sequential job.
+- Proposition 5: the parallel extension via the macro-processor reduction
+  (``p`` iid Exponential(lam) processors behave as one Exponential(p*lam)
+  processor with overheads ``C(p)``, ``R(p)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.lambert import lambert_w
+
+__all__ = [
+    "expected_tlost_exponential",
+    "expected_trec",
+    "optimal_num_chunks",
+    "expected_makespan_optimal",
+    "optimal_num_chunks_parallel",
+    "OptimalPlan",
+]
+
+
+def expected_tlost_exponential(lam: float, x: float) -> float:
+    """Lemma 1: expected compute time lost to a failure known to occur
+    within the next ``x`` units, for Exponential(lam) failures:
+
+        E[Tlost(x)] = 1/lam - x / (e^{lam x} - 1)
+    """
+    if x <= 0:
+        return 0.0
+    lx = lam * x
+    if lx < 1e-8:
+        return x / 2.0
+    return 1.0 / lam - x / math.expm1(lx)
+
+
+def expected_trec(lam: float, d: float, r: float) -> float:
+    """Expected time to recover after a failure (Proposition 1), allowing
+    failures during recovery, for Exponential(lam) failures.
+
+    Simplifies to ``E[Trec] = D + (e^{lam R} - 1) (D + 1/lam)``.
+    """
+    return d + math.expm1(lam * r) * (d + 1.0 / lam)
+
+
+def _psi(k: float, lam: float, work: float, c: float) -> float:
+    """The paper's ``psi(K) = K (e^{lam(W/K + C)} - 1)`` to be minimized."""
+    return k * math.expm1(lam * (work / k + c))
+
+
+def optimal_num_chunks(lam: float, work: float, c: float) -> int:
+    """Theorem 1: optimal number of equal chunks.
+
+    ``K0 = lam W / (1 + L(-e^{-lam C - 1}))``; the optimum is the better of
+    ``max(1, floor(K0))`` and ``ceil(K0)`` under ``psi``.
+    """
+    if work <= 0:
+        return 1
+    z = -math.exp(-lam * c - 1.0)
+    k0 = lam * work / (1.0 + lambert_w(z))
+    lo = max(1, math.floor(k0))
+    hi = max(1, math.ceil(k0))
+    if lo == hi:
+        return lo
+    return lo if _psi(lo, lam, work, c) <= _psi(hi, lam, work, c) else hi
+
+
+@dataclass(frozen=True)
+class OptimalPlan:
+    """Optimal periodic plan for Exponential failures."""
+
+    num_chunks: int
+    chunk_size: float
+    expected_makespan: float
+
+
+def expected_makespan_optimal(
+    lam: float, work: float, c: float, d: float, r: float
+) -> OptimalPlan:
+    """Theorem 1's optimal plan and its expected makespan
+
+        E[T*] = K* e^{lam R} (1/lam + D) (e^{lam (W/K* + C)} - 1).
+    """
+    k = optimal_num_chunks(lam, work, c)
+    span = (
+        k
+        * math.exp(lam * r)
+        * (1.0 / lam + d)
+        * math.expm1(lam * (work / k + c))
+    )
+    return OptimalPlan(num_chunks=k, chunk_size=work / k, expected_makespan=span)
+
+
+def optimal_num_chunks_parallel(
+    lam: float, p: int, work_p: float, c_p: float
+) -> int:
+    """Proposition 5: optimal chunk count for a parallel job.
+
+    ``p`` processors with iid Exponential(lam) failures aggregate into a
+    macro-processor with rate ``p*lam``; ``work_p = W(p)`` is the
+    failure-free execution time on ``p`` processors and ``c_p = C(p)`` the
+    checkpoint time.
+    """
+    return optimal_num_chunks(p * lam, work_p, c_p)

@@ -1,0 +1,37 @@
+"""Failure inter-arrival time distributions.
+
+All of the paper's machinery is expressed in terms of the *conditional
+survival function*
+
+    Psuc(x | tau) = P(X >= tau + x | X >= tau)
+
+(the probability that a processor whose current lifetime started ``tau``
+seconds ago survives ``x`` more seconds), together with the conditional
+expectation ``E[Tlost(x | tau)]`` of the compute time wasted when a failure
+is known to strike within the next ``x`` seconds.  Every distribution here
+implements both, plus sampling, so that the dynamic programs, the
+closed-form optima and the discrete-event simulator can all share one
+interface.
+"""
+
+from repro.distributions.base import FailureDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.weibull import Weibull
+from repro.distributions.gamma import Gamma
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.empirical import Empirical
+from repro.distributions.minimum import MinOfIID
+from repro.distributions.fitting import fit_weibull_mle
+
+__all__ = [
+    "FailureDistribution",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "Deterministic",
+    "Empirical",
+    "MinOfIID",
+    "fit_weibull_mle",
+]

@@ -1,0 +1,151 @@
+"""Abstract base class for failure inter-arrival time distributions."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["FailureDistribution"]
+
+
+class FailureDistribution(abc.ABC):
+    """A non-negative random variable ``X`` modelling processor lifetimes.
+
+    Subclasses must implement :meth:`sf`, :meth:`logsf`, :meth:`pdf`,
+    :meth:`mean` and :meth:`sample`.  Everything else (conditional
+    survival, conditional expected loss, quantiles) has generic
+    implementations that subclasses may override with closed forms.
+
+    All methods accept scalars or numpy arrays and broadcast.
+    """
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def sf(self, t):
+        """Survival function ``P(X >= t)``."""
+
+    @abc.abstractmethod
+    def logsf(self, t):
+        """``log P(X >= t)``, stable for large ``t``."""
+
+    @abc.abstractmethod
+    def pdf(self, t):
+        """Probability density of ``X`` at ``t``."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """``E[X]``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size=None):
+        """Draw iid samples of ``X``."""
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    def cdf(self, t):
+        """``P(X < t)``."""
+        return 1.0 - self.sf(t)
+
+    def hazard(self, t):
+        """Instantaneous failure rate ``pdf(t) / sf(t)``."""
+        t = np.asarray(t, dtype=float)
+        sf = self.sf(t)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(sf > 0, self.pdf(t) / sf, np.inf)
+
+    def psuc(self, x, tau=0.0):
+        """Conditional survival ``P(X >= tau + x | X >= tau)``.
+
+        This is the paper's ``Psuc(x | tau)``: the probability that a
+        processor whose lifetime started ``tau`` ago computes for ``x``
+        more time units without failing.
+        """
+        return np.exp(self.log_psuc(x, tau))
+
+    def log_psuc(self, x, tau=0.0):
+        """``log Psuc(x | tau)`` computed stably via :meth:`logsf`."""
+        x = np.asarray(x, dtype=float)
+        tau = np.asarray(tau, dtype=float)
+        return self.logsf(tau + x) - self.logsf(tau)
+
+    def quantile(self, q):
+        """Generic quantile by bisection on the cdf.
+
+        ``q`` may be scalar or array; values must lie in ``[0, 1)``.
+        """
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q >= 1)):
+            raise ValueError("quantile levels must be in [0, 1)")
+        # Bracket: grow hi until cdf(hi) > max(q).
+        hi = max(self.mean(), 1e-12)
+        qmax = q.max()
+        for _ in range(200):
+            if self.cdf(hi) > qmax:
+                break
+            hi *= 2.0
+        lo = np.zeros_like(q)
+        hi = np.full_like(q, hi)
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            below = self.cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        out = 0.5 * (lo + hi)
+        return out if out.size > 1 else float(out[0])
+
+    def expected_tlost(self, x, tau=0.0, n_points: int = 257):
+        """``E[Tlost(x | tau)]``: expected compute time before the failure,
+        given that the failure strikes within the next ``x`` time units and
+        the lifetime started ``tau`` ago.
+
+        Generic implementation integrates the conditional survival:
+
+            E = int_0^x (S(tau+t) - S(tau+x)) dt / (S(tau) - S(tau+x))
+
+        using composite Simpson quadrature (``n_points`` must be odd).
+        """
+        x = float(x)
+        tau = float(tau)
+        if x <= 0:
+            return 0.0
+        if n_points % 2 == 0:
+            n_points += 1
+        ts = np.linspace(0.0, x, n_points)
+        s = self.sf(tau + ts)
+        s_end = s[-1]
+        s_start = self.sf(tau)
+        denom = s_start - s_end
+        if denom <= 0:
+            # Failure within the window is (numerically) impossible;
+            # convention: no time lost.
+            return 0.0
+        from scipy.integrate import simpson
+
+        num = simpson(s - s_end, x=ts)
+        return float(num / denom)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+        """Sample ``X - tau`` given ``X >= tau`` (remaining lifetime).
+
+        Generic implementation via inverse-cdf on the conditional law:
+        if ``U ~ Uniform(0,1)`` then ``X = Qx(1 - U * S(tau))`` conditioned
+        appropriately.  Subclasses with closed forms should override.
+        """
+        u = rng.random(size)
+        s_tau = self.sf(tau)
+        # target survival level for X: s = s_tau * (1 - u) in (0, s_tau]
+        target = s_tau * (1.0 - u)
+        return self.quantile(1.0 - target) - tau
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

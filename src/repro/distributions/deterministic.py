@@ -1,0 +1,69 @@
+"""Deterministic lifetime: fails after exactly ``period`` seconds.
+
+Not a paper model — a testing instrument.  A degenerate distribution
+with a known failure date makes every engine/policy computation
+predictable by hand, and it exercises the survival-function edge cases
+(jump discontinuity, zero density, unbounded hazard at the atom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import FailureDistribution
+
+__all__ = ["Deterministic"]
+
+
+class Deterministic(FailureDistribution):
+    """``P(X = period) = 1``."""
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = float(period)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t <= self.period, 1.0, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def logsf(self, t):
+        with np.errstate(divide="ignore"):
+            return np.log(self.sf(t))
+
+    def pdf(self, t):
+        """Dirac atom: the density is zero away from the atom (the atom
+        itself has no finite density)."""
+        t = np.asarray(t, dtype=float)
+        out = np.zeros_like(t)
+        return float(out) if out.ndim == 0 else out
+
+    def mean(self) -> float:
+        return self.period
+
+    def sample(self, rng: np.random.Generator, size=None):
+        if size is None:
+            return self.period
+        return np.full(size, self.period)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        out = np.full_like(q, self.period)
+        return float(out) if out.ndim == 0 else out
+
+    def expected_tlost(self, x, tau=0.0, n_points: int = 257):
+        """Failure is at age ``period``: if it falls inside the window,
+        exactly ``period - tau`` compute time is lost."""
+        if tau < self.period <= tau + x:
+            return self.period - tau
+        return 0.0
+
+    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+        rem = max(self.period - tau, 0.0)
+        if size is None:
+            return rem
+        return np.full(size, rem)
+
+    def __repr__(self) -> str:
+        return f"Deterministic(period={self.period!r})"

@@ -1,0 +1,82 @@
+"""Exponential failure distribution (memoryless baseline)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import FailureDistribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(FailureDistribution):
+    """Exponential distribution with rate ``lam`` (mean ``1/lam``).
+
+    The memoryless case of the paper: ``Psuc(x | tau)`` does not depend
+    on ``tau`` and the Makespan problem admits the closed-form optimum of
+    Theorem 1.
+    """
+
+    def __init__(self, lam: float):
+        if lam <= 0:
+            raise ValueError("rate lam must be positive")
+        self.lam = float(lam)
+
+    @classmethod
+    def from_mtbf(cls, mtbf: float) -> "Exponential":
+        """Paper convention (Section 4.3): ``lam = 1 / MTBF``."""
+        return cls(1.0 / mtbf)
+
+    # -- primitives ----------------------------------------------------
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.exp(-self.lam * np.maximum(t, 0.0))
+
+    def logsf(self, t):
+        t = np.asarray(t, dtype=float)
+        return -self.lam * np.maximum(t, 0.0)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.where(t >= 0, self.lam * np.exp(-self.lam * t), 0.0)
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.exponential(scale=1.0 / self.lam, size=size)
+
+    # -- closed forms --------------------------------------------------
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        out = -np.log1p(-q) / self.lam
+        return float(out) if out.ndim == 0 else out
+
+    def hazard(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, self.lam)
+
+    def expected_tlost(self, x, tau=0.0, n_points: int = 257):
+        """Lemma 1: ``E[Tlost(x)] = 1/lam - x / (e^{lam x} - 1)``.
+
+        Memorylessness makes the result independent of ``tau``.
+        """
+        x = float(x)
+        if x <= 0:
+            return 0.0
+        lx = self.lam * x
+        if lx < 1e-8:
+            # e^{lx}-1 ~ lx: limit x/2.
+            return x / 2.0
+        return 1.0 / self.lam - x / math.expm1(lx)
+
+    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+        # Memoryless: remaining lifetime is Exponential(lam) again.
+        return rng.exponential(scale=1.0 / self.lam, size=size)
+
+    def __repr__(self) -> str:
+        return f"Exponential(lam={self.lam!r})"

@@ -1,0 +1,49 @@
+"""Experiment drivers: one per paper table/figure, plus ablations.
+
+Every driver takes an :class:`repro.experiments.config.ExperimentScale`
+so the same code runs at laptop scale (defaults), at intermediate scale,
+or with the paper's exact parameters (``PAPER`` — documented, not run in
+CI).  Drivers return plain data structures; the benchmark harness in
+``benchmarks/`` renders them as the paper's rows/series.
+"""
+
+from repro.experiments.config import (
+    MEDIUM,
+    PAPER,
+    SMALL,
+    SMOKE,
+    ExperimentScale,
+)
+from repro.experiments.common import (
+    default_parallel_policies,
+    evaluate_scenario,
+    logbased_policies,
+)
+from repro.experiments.single_proc import run_single_proc_experiment
+from repro.experiments.scaling import run_scaling_experiment, run_table4
+from repro.experiments.shape_sweep import run_shape_sweep
+from repro.experiments.logbased import run_logbased_experiment
+from repro.experiments.period_sweep import run_period_sweep
+from repro.experiments.model_combos import run_model_combo_experiment
+from repro.experiments.profiles import run_profile_experiment
+from repro.experiments.rejuvenation_fig import run_rejuvenation_figure
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "evaluate_scenario",
+    "default_parallel_policies",
+    "logbased_policies",
+    "run_single_proc_experiment",
+    "run_scaling_experiment",
+    "run_table4",
+    "run_shape_sweep",
+    "run_logbased_experiment",
+    "run_period_sweep",
+    "run_model_combo_experiment",
+    "run_profile_experiment",
+    "run_rejuvenation_figure",
+]

@@ -1,0 +1,115 @@
+"""Experiment scale configuration.
+
+The paper's experiments run 600 traces over platforms of up to 2^20
+processors — weeks of CPU in pure Python.  Each driver therefore takes
+an :class:`ExperimentScale`:
+
+- ``SMOKE``: seconds; used by the test suite.
+- ``SMALL``: the benchmark default; minutes for the whole suite, large
+  enough that every qualitative paper result is visible.
+- ``MEDIUM``: tens of minutes; tighter confidence intervals.
+- ``PAPER``: the paper's exact parameters, for completeness.
+
+Platform scaling preserves the dimensionless ratios that drive the
+results — see :meth:`repro.cluster.presets.PlatformPreset.scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SMOKE", "SMALL", "MEDIUM", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment drivers.
+
+    Attributes
+    ----------
+    n_traces:
+        Random failure scenarios per configuration (paper: 600).
+    ptotal_peta / ptotal_exa:
+        Processor counts the Petascale / Exascale presets are scaled to.
+    n_p_points:
+        Number of x-axis points for degradation-vs-p figures
+        (``ptotal / 2^k`` for ``k = n_p_points-1 .. 0``).
+    period_lb_linear / period_lb_geometric:
+        PeriodLB factor-grid sizes (paper: 180 and 60).
+    period_lb_traces:
+        Traces used to *search* the best period (the winner is then
+        evaluated on all traces).
+    dp_n_grid:
+        DPNextFailure planning grid size.
+    single_proc_work:
+        Workload of the 1-processor scenarios (paper: 20 days; scaled
+        down so DPMakespan's cubic DP stays tractable).
+    max_makespan_factor:
+        Abort runs longer than this multiple of the failure-free time
+        (guards against degenerate policies).
+    """
+
+    name: str
+    n_traces: int
+    ptotal_peta: int
+    ptotal_exa: int
+    n_p_points: int
+    period_lb_linear: int
+    period_lb_geometric: int
+    period_lb_traces: int
+    dp_n_grid: int
+    single_proc_work: float
+    max_makespan_factor: float = 50.0
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    n_traces=4,
+    ptotal_peta=128,
+    ptotal_exa=256,
+    n_p_points=3,
+    period_lb_linear=3,
+    period_lb_geometric=3,
+    period_lb_traces=2,
+    dp_n_grid=48,
+    single_proc_work=12 * 3600.0,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    n_traces=30,
+    ptotal_peta=512,
+    ptotal_exa=1024,
+    n_p_points=4,
+    period_lb_linear=8,
+    period_lb_geometric=6,
+    period_lb_traces=10,
+    dp_n_grid=96,
+    single_proc_work=2 * 86400.0,
+)
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    n_traces=100,
+    ptotal_peta=2048,
+    ptotal_exa=4096,
+    n_p_points=5,
+    period_lb_linear=12,
+    period_lb_geometric=8,
+    period_lb_traces=30,
+    dp_n_grid=128,
+    single_proc_work=4 * 86400.0,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    n_traces=600,
+    ptotal_peta=45_208,
+    ptotal_exa=2**20,
+    n_p_points=6,
+    period_lb_linear=180,
+    period_lb_geometric=60,
+    period_lb_traces=1000,
+    dp_n_grid=160,
+    single_proc_work=20 * 86400.0,
+)

@@ -1,0 +1,112 @@
+"""Extension: makespan / energy trade-off (Section 8 future work).
+
+The paper's conclusion calls for "checkpointing strategies that can
+trade off a longer execution time for a reduced energy consumption".
+This driver quantifies the trade-off for periodic policies: stretching
+the checkpoint period reduces checkpoint I/O energy but lengthens the
+makespan (more lost work), so total energy
+
+    E = p * P_static * makespan
+      + p * P_dynamic * compute_time
+      + P_io * C * n_checkpoints
+
+is non-monotone in the period.  The resulting frontier (period ->
+(makespan, energy)) shows the energy optimum sits at a *longer* period
+than the makespan optimum whenever checkpoint I/O power dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.models import Platform
+from repro.core.theory import optimal_num_chunks
+from repro.policies.base import PeriodicPolicy
+from repro.simulation.engine import simulate_job
+from repro.traces.generation import generate_platform_traces
+
+__all__ = ["EnergyModel", "EnergyPoint", "run_energy_tradeoff"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Simple per-processor power model (watts) + checkpoint I/O power."""
+
+    p_static: float = 60.0
+    p_dynamic: float = 40.0
+    p_io: float = 400.0
+
+    def energy(self, p: int, makespan: float, compute: float, checkpoint_time: float) -> float:
+        """Total joules of one run under this power model."""
+        return (
+            p * self.p_static * makespan
+            + p * self.p_dynamic * compute
+            + self.p_io * checkpoint_time
+        )
+
+
+@dataclass
+class EnergyPoint:
+    period_factor: float
+    mean_makespan: float
+    mean_energy_joules: float
+
+
+def run_energy_tradeoff(
+    platform: Platform,
+    work_time: float,
+    horizon: float,
+    t0: float = 0.0,
+    n_traces: int = 10,
+    period_factors=(0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0),
+    model: EnergyModel = EnergyModel(),
+    seed: int = 0,
+) -> list[EnergyPoint]:
+    """Makespan and total energy of periodic policies whose period is
+    ``factor x`` the OptExp period, averaged over ``n_traces``."""
+    base = work_time / optimal_num_chunks(
+        1.0 / platform.platform_mtbf, work_time, platform.checkpoint
+    )
+    traces = [
+        generate_platform_traces(
+            platform.dist,
+            platform.num_nodes,
+            horizon,
+            downtime=platform.downtime,
+            seed=np.random.SeedSequence([seed, i]),
+        ).for_job(platform.num_nodes)
+        for i in range(n_traces)
+    ]
+    points = []
+    for f in period_factors:
+        policy = PeriodicPolicy(base * f, name=f"period x{f}")
+        spans, energies = [], []
+        for tr in traces:
+            res = simulate_job(
+                policy,
+                work_time,
+                tr,
+                platform.checkpoint,
+                platform.recovery,
+                platform.dist,
+                t0=t0,
+                platform_mtbf=platform.platform_mtbf,
+            )
+            # compute time = useful work + work lost to failures; the
+            # remainder of the makespan is checkpoints/recovery/idle.
+            ckpt_time = res.n_checkpoints * platform.checkpoint
+            compute = res.makespan - ckpt_time  # upper bound on busy time
+            spans.append(res.makespan)
+            energies.append(
+                model.energy(platform.p, res.makespan, compute, ckpt_time)
+            )
+        points.append(
+            EnergyPoint(
+                period_factor=f,
+                mean_makespan=float(np.mean(spans)),
+                mean_energy_joules=float(np.mean(energies)),
+            )
+        )
+    return points

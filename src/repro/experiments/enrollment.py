@@ -1,0 +1,104 @@
+"""Extension: the optimal number of processors to enroll (Section 8).
+
+On a fault-free machine every profile in the paper runs fastest on the
+whole platform.  Under failures that is no longer true: more processors
+mean a smaller per-processor share of work but a shorter platform MTBF
+(and, for the proportional model, cheaper checkpoints), so the expected
+makespan can be minimized strictly inside the platform.  This driver
+sweeps the enrollment and reports the argmin per application profile —
+the question the paper leaves open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.models import Platform, WorkModel
+from repro.experiments.common import make_distribution
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.profiles import default_profiles
+from repro.experiments.scaling import make_overhead, make_preset
+from repro.policies import DPNextFailurePolicy, OptExp
+from repro.simulation.engine import simulate_job
+from repro.traces.generation import generate_platform_traces
+
+__all__ = ["EnrollmentResult", "run_optimal_enrollment"]
+
+
+@dataclass
+class EnrollmentResult:
+    """Best enrollment per profile, with the full sweep for context."""
+
+    p_values: list[int]
+    makespans: dict[str, list[float]]  # profile -> mean makespan per p
+    best_p: dict[str, int]
+
+    def speedup_exhausted(self, profile: str) -> bool:
+        """True if enrolling the whole platform was *not* optimal."""
+        return self.best_p[profile] != self.p_values[-1]
+
+
+def run_optimal_enrollment(
+    scale: ExperimentScale = SMALL,
+    dist_kind: str = "weibull",
+    weibull_k: float = 0.7,
+    overhead: str = "constant",
+    mtbf_factor: float = 1.0,
+    policy: str = "OptExp",
+    seed: int = 2011,
+) -> EnrollmentResult:
+    """Sweep enrollments ``ptotal / 2^k`` and locate the makespan-minimal
+    processor count per application profile.
+
+    ``mtbf_factor < 1`` makes the platform less reliable, pushing the
+    optimum inside the machine for the communication-bound profiles.
+    """
+    preset = make_preset("peta", scale)
+    if mtbf_factor != 1.0:
+        preset = preset.with_mtbf(preset.processor_mtbf * mtbf_factor)
+    dist = make_distribution(dist_kind, preset.processor_mtbf, weibull_k)
+    oh = make_overhead(overhead, preset)
+    profiles: dict[str, WorkModel] = default_profiles(preset)
+    ps = [max(1, preset.ptotal // 2**k) for k in range(scale.n_p_points + 1, -1, -1)]
+    n_traces = max(3, scale.n_traces // 4)
+    traces = [
+        generate_platform_traces(
+            dist,
+            preset.ptotal,
+            preset.horizon,
+            downtime=preset.downtime,
+            seed=np.random.SeedSequence([seed, i]),
+        )
+        for i in range(n_traces)
+    ]
+    makespans: dict[str, list[float]] = {name: [] for name in profiles}
+    for name, wm in profiles.items():
+        for p in ps:
+            platform = Platform(p=p, dist=dist, downtime=preset.downtime, overhead=oh)
+            work_time = wm.time(p)
+            spans = []
+            for tr_full in traces:
+                pol = (
+                    OptExp()
+                    if policy == "OptExp"
+                    else DPNextFailurePolicy(n_grid=scale.dp_n_grid)
+                )
+                res = simulate_job(
+                    pol,
+                    work_time,
+                    tr_full.for_job(p),
+                    platform.checkpoint,
+                    platform.recovery,
+                    dist,
+                    t0=preset.start_offset,
+                    platform_mtbf=platform.platform_mtbf,
+                    max_makespan=scale.max_makespan_factor * work_time,
+                )
+                spans.append(res.makespan)
+            makespans[name].append(float(np.mean(spans)))
+    best = {
+        name: ps[int(np.argmin(vals))] for name, vals in makespans.items()
+    }
+    return EnrollmentResult(p_values=ps, makespans=makespans, best_p=best)

@@ -1,0 +1,109 @@
+"""Absolute makespan vs platform size per application profile
+(Appendix D, Figures 98-99).
+
+Unlike the degradation figures, these report the *average makespan in
+days* of a single policy (OptExp under Exponential failures, or
+DPNextFailure under Weibull failures) across the application profiles
+``W/p``, ``W/p + 1e-6 W``, ``W/p + 1e-4 W``, ``W/p + gamma W^{2/3}/sqrt(p)``
+— exhibiting the regime where enrolling more processors stops helping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.models import (
+    AmdahlLaw,
+    EmbarrassinglyParallel,
+    NumericalKernel,
+    Platform,
+)
+from repro.experiments.common import make_distribution
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.scaling import make_overhead, make_preset, p_axis
+from repro.policies import DPNextFailurePolicy, OptExp
+from repro.simulation.engine import simulate_job
+from repro.traces.generation import generate_platform_traces
+from repro.units import DAY
+
+__all__ = ["ProfileResult", "run_profile_experiment", "default_profiles"]
+
+
+def default_profiles(preset):
+    """The Appendix-D application profiles (gammas given at paper scale
+    and rescaled per :func:`repro.experiments.scaling.make_work_model`'s
+    crossover-preserving rule)."""
+    from repro.experiments.scaling import make_work_model
+
+    return {
+        "W/p": make_work_model("embarrassing", preset),
+        "W/p + 1e-6 W": make_work_model("amdahl", preset, gamma=1e-6),
+        "W/p + 1e-4 W": make_work_model("amdahl", preset, gamma=1e-4),
+        "W/p + 0.1 W^(2/3)/sqrt(p)": make_work_model("kernel", preset, gamma=0.1),
+        "W/p + W^(2/3)/sqrt(p)": make_work_model("kernel", preset, gamma=1.0),
+    }
+
+
+@dataclass
+class ProfileResult:
+    policy: str
+    p_values: list[int]
+    makespan_days: dict[str, list[float]]
+
+
+def run_profile_experiment(
+    dist_kind: str = "exponential",
+    policy: str = "OptExp",
+    overhead: str = "constant",
+    scale: ExperimentScale = SMALL,
+    weibull_k: float = 0.7,
+    seed: int = 2011,
+) -> ProfileResult:
+    """Mean makespan (days) vs processor count for every application
+    profile, under one policy (Appendix D's panels)."""
+    preset = make_preset("peta", scale)
+    dist = make_distribution(dist_kind, preset.processor_mtbf, weibull_k)
+    oh = make_overhead(overhead, preset)
+    profiles = default_profiles(preset)
+    ps = p_axis(preset, scale.n_p_points)
+    out: dict[str, list[float]] = {name: [] for name in profiles}
+    n_traces = max(2, scale.n_traces // 4)
+    traces = [
+        generate_platform_traces(
+            dist,
+            preset.ptotal,
+            preset.horizon,
+            downtime=preset.downtime,
+            seed=np.random.SeedSequence([seed, i]),
+        )
+        for i in range(n_traces)
+    ]
+    for name, wm in profiles.items():
+        for p in ps:
+            platform = Platform(p=p, dist=dist, downtime=preset.downtime, overhead=oh)
+            work_time = wm.time(p)
+            spans = []
+            for tr_full in traces:
+                tr = tr_full.for_job(p)
+                pol = (
+                    OptExp()
+                    if policy == "OptExp"
+                    else DPNextFailurePolicy(n_grid=scale.dp_n_grid)
+                )
+                res = simulate_job(
+                    pol,
+                    work_time,
+                    tr,
+                    platform.checkpoint,
+                    platform.recovery,
+                    dist,
+                    t0=preset.start_offset,
+                    platform_mtbf=platform.platform_mtbf,
+                    max_makespan=scale.max_makespan_factor * work_time,
+                )
+                spans.append(res.makespan)
+            out[name].append(float(np.mean(spans)) / DAY)
+    return ProfileResult(policy=policy, p_values=ps, makespan_days=out)

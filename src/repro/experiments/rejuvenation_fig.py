@@ -1,0 +1,47 @@
+"""Figure 1: platform MTBF vs processor count under the two
+rejuvenation options (Weibull k=0.7, processor MTBF 125 years, D=60 s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.rejuvenation import (
+    platform_mtbf_all_rejuvenation,
+    platform_mtbf_single_rejuvenation,
+)
+from repro.distributions import Weibull
+from repro.units import MINUTE, YEAR
+
+__all__ = ["RejuvenationFigure", "run_rejuvenation_figure"]
+
+
+@dataclass
+class RejuvenationFigure:
+    p_exponents: tuple[int, ...]
+    log2_mtbf_with_rejuvenation: list[float]
+    log2_mtbf_without_rejuvenation: list[float]
+
+
+def run_rejuvenation_figure(
+    shape: float = 0.7,
+    processor_mtbf: float = 125 * YEAR,
+    downtime: float = MINUTE,
+    p_exponents=tuple(range(2, 19, 2)),
+) -> RejuvenationFigure:
+    """Analytic Figure-1 series: log2 platform MTBF for both
+    rejuvenation options across platform sizes."""
+    dist = Weibull.from_mtbf(processor_mtbf, shape)
+    with_rej, without = [], []
+    for e in p_exponents:
+        p = 2**e
+        with_rej.append(math.log2(platform_mtbf_all_rejuvenation(dist, p, downtime)))
+        without.append(
+            math.log2(platform_mtbf_single_rejuvenation(dist, p, downtime))
+        )
+    return RejuvenationFigure(
+        p_exponents=tuple(p_exponents),
+        log2_mtbf_with_rejuvenation=with_rej,
+        log2_mtbf_without_rejuvenation=without,
+    )

@@ -1,0 +1,142 @@
+"""Extension experiment: is replicating the job on both platform halves
+worth it? (Section 8 future work.)
+
+Compares three deployments of the same platform under Weibull failures:
+
+- ``full``: one job instance on all ``p`` processors (``W(p)``);
+- ``independent``: two instances on ``p/2`` processors each
+  (``W(p/2)``), first finisher wins;
+- ``synchronized``: two instances on ``p/2`` each, lock-stepped per
+  chunk, a chunk surviving on either half.
+
+With embarrassingly parallel work ``W(p/2) = 2 W(p)``: replication pays
+double compute per chunk and can only win when failures waste a large
+fraction of the unreplicated run — i.e. when the platform MTBF
+approaches the chunk + checkpoint length.  The driver sweeps a failure
+intensity multiplier to locate the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.presets import PlatformPreset
+from repro.distributions import Weibull
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.scaling import make_preset
+from repro.policies import DPNextFailurePolicy, OptExp
+from repro.simulation.engine import simulate_job
+from repro.simulation.replication import (
+    simulate_independent_replication,
+    simulate_synchronized_replication,
+)
+from repro.traces.generation import generate_platform_traces
+
+__all__ = ["ReplicationPoint", "run_replication_experiment"]
+
+
+@dataclass
+class ReplicationPoint:
+    """Mean makespans at one failure-intensity level."""
+
+    mtbf_factor: float
+    platform_mtbf: float
+    full: float
+    independent: float
+    synchronized: float
+
+    @property
+    def replication_wins(self) -> bool:
+        return min(self.independent, self.synchronized) < self.full
+
+
+def run_replication_experiment(
+    scale: ExperimentScale = SMALL,
+    mtbf_factors=(1.0, 0.1, 0.03, 0.01),
+    shape: float = 0.7,
+    seed: int = 2011,
+    preset: PlatformPreset | None = None,
+    full_policy: str = "OptExp",
+) -> list[ReplicationPoint]:
+    """Sweep failure intensity (processor MTBF divided by ``factor``).
+
+    OptExp chunking everywhere by default (periodic, so both halves stay
+    synchronized on chunk boundaries by construction, and the full-vs-
+    replicated comparison is policy-for-policy fair); pass
+    ``full_policy='DPNextFailure'`` to give the unreplicated baseline its
+    best known policy instead.
+    """
+    if preset is None:
+        preset = make_preset("peta", scale)
+    p = preset.ptotal
+    half = p // 2
+    work_full = preset.work / p
+    work_half = preset.work / half
+    n_traces = max(3, scale.n_traces // 3)
+    points = []
+    for factor in mtbf_factors:
+        dist = Weibull.from_mtbf(preset.processor_mtbf * factor, shape)
+        spans = {"full": [], "independent": [], "synchronized": []}
+        for i in range(n_traces):
+            traces = generate_platform_traces(
+                dist,
+                p,
+                preset.horizon,
+                downtime=preset.downtime,
+                seed=np.random.SeedSequence([seed, int(1 / factor * 1000), i]),
+            )
+            mtbf_full = dist.mean() / p
+            mtbf_half = dist.mean() / half
+            kw = dict(
+                checkpoint=preset.overhead_seconds,
+                recovery=preset.overhead_seconds,
+                dist=dist,
+                t0=preset.start_offset * factor,
+                max_makespan=200.0 * work_half,
+            )
+            pol = (
+                OptExp()
+                if full_policy == "OptExp"
+                else DPNextFailurePolicy(n_grid=scale.dp_n_grid)
+            )
+            spans["full"].append(
+                simulate_job(
+                    pol,
+                    work_full,
+                    traces.for_job(p),
+                    platform_mtbf=mtbf_full,
+                    **kw,
+                ).makespan
+            )
+            spans["independent"].append(
+                simulate_independent_replication(
+                    OptExp,
+                    work_half,
+                    traces,
+                    half,
+                    platform_mtbf=mtbf_half,
+                    **kw,
+                ).makespan
+            )
+            spans["synchronized"].append(
+                simulate_synchronized_replication(
+                    OptExp(),
+                    work_half,
+                    traces,
+                    half,
+                    platform_mtbf=mtbf_half,
+                    **kw,
+                ).makespan
+            )
+        points.append(
+            ReplicationPoint(
+                mtbf_factor=factor,
+                platform_mtbf=dist.mean() / p,
+                full=float(np.mean(spans["full"])),
+                independent=float(np.mean(spans["independent"])),
+                synchronized=float(np.mean(spans["synchronized"])),
+            )
+        )
+    return points

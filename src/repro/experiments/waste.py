@@ -1,0 +1,109 @@
+"""Waste-breakdown experiment: where does the overhead go?
+
+For the Table-4 scenario, decompose each policy's makespan into useful
+work, checkpointing, work lost to failures, and outage (downtime +
+recovery).  Explains *why* the adaptive policy wins: it trades slightly
+more checkpoint time for much less lost work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.models import Platform
+from repro.experiments.common import make_distribution
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.scaling import make_overhead, make_preset
+from repro.policies import DPNextFailurePolicy, OptExp, Young
+from repro.simulation.engine import simulate_job
+from repro.traces.generation import generate_platform_traces
+
+__all__ = ["WasteBreakdown", "run_waste_breakdown"]
+
+
+@dataclass
+class WasteBreakdown:
+    """Mean seconds per category for one policy."""
+
+    policy: str
+    work: float
+    checkpointing: float
+    lost: float
+    outage: float
+    waiting: float
+
+    @property
+    def makespan(self) -> float:
+        return self.work + self.checkpointing + self.lost + self.outage + self.waiting
+
+    def as_fractions(self) -> dict[str, float]:
+        """The breakdown normalized by the makespan (sums to 1)."""
+        m = self.makespan
+        return {
+            "work": self.work / m,
+            "checkpointing": self.checkpointing / m,
+            "lost": self.lost / m,
+            "outage": self.outage / m,
+            "waiting": self.waiting / m,
+        }
+
+
+def run_waste_breakdown(
+    scale: ExperimentScale = SMALL,
+    dist_kind: str = "weibull",
+    weibull_k: float = 0.7,
+    seed: int = 2011,
+) -> list[WasteBreakdown]:
+    """Mean makespan decomposition per policy on the Table-4 scenario."""
+    preset = make_preset("peta", scale)
+    dist = make_distribution(dist_kind, preset.processor_mtbf, weibull_k)
+    platform = Platform(
+        p=preset.ptotal,
+        dist=dist,
+        downtime=preset.downtime,
+        overhead=make_overhead("constant", preset),
+    )
+    work = preset.work / preset.ptotal
+    n_traces = max(3, scale.n_traces // 2)
+    traces = [
+        generate_platform_traces(
+            dist,
+            preset.ptotal,
+            preset.horizon,
+            downtime=preset.downtime,
+            seed=np.random.SeedSequence([seed, i]),
+        ).for_job(preset.ptotal)
+        for i in range(n_traces)
+    ]
+    out = []
+    for factory in (Young, OptExp, lambda: DPNextFailurePolicy(n_grid=scale.dp_n_grid)):
+        accum = dict(ckpt=[], lost=[], outage=[], waiting=[])
+        for tr in traces:
+            res = simulate_job(
+                factory(),
+                work,
+                tr,
+                platform.checkpoint,
+                platform.recovery,
+                dist,
+                t0=preset.start_offset,
+                platform_mtbf=platform.platform_mtbf,
+            )
+            accum["ckpt"].append(res.n_checkpoints * platform.checkpoint)
+            accum["lost"].append(res.time_lost)
+            accum["outage"].append(res.time_outage)
+            accum["waiting"].append(res.time_waiting)
+        policy_name = factory().name
+        out.append(
+            WasteBreakdown(
+                policy=policy_name,
+                work=work,
+                checkpointing=float(np.mean(accum["ckpt"])),
+                lost=float(np.mean(accum["lost"])),
+                outage=float(np.mean(accum["outage"])),
+                waiting=float(np.mean(accum["waiting"])),
+            )
+        )
+    return out

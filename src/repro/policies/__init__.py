@@ -1,0 +1,38 @@
+"""Checkpointing policies evaluated in the paper (Section 4.1).
+
+All policies implement :class:`repro.policies.base.Policy`: the simulator
+asks ``next_chunk(remaining, ctx)`` at every decision point (job start,
+after each checkpoint, after each recovery).
+
+- Periodic MTBF-based: :class:`Young`, :class:`DalyLow`,
+  :class:`DalyHigh`, :class:`OptExp` (Proposition 5).
+- Rejuvenation-assuming: :class:`Bouguerra` (periodic),
+  :class:`Liu` (non-periodic, hazard-based).
+- The paper's contribution: :class:`DPNextFailurePolicy`,
+  :class:`DPMakespanPolicy`.
+- Oracles: ``PeriodLB`` lives in :mod:`repro.policies.periodlb` (it is a
+  search over periodic policies); the omniscient LowerBound is an engine
+  (:func:`repro.simulation.simulate_lower_bound`), not a policy.
+"""
+
+from repro.policies.base import PeriodicPolicy, Policy, PolicyInfeasibleError
+from repro.policies.classical import DalyHigh, DalyLow, OptExp, Young
+from repro.policies.bouguerra import Bouguerra
+from repro.policies.liu import Liu
+from repro.policies.dp import DPMakespanPolicy, DPNextFailurePolicy
+from repro.policies.periodlb import best_period_search
+
+__all__ = [
+    "Policy",
+    "PeriodicPolicy",
+    "PolicyInfeasibleError",
+    "Young",
+    "DalyLow",
+    "DalyHigh",
+    "OptExp",
+    "Bouguerra",
+    "Liu",
+    "DPNextFailurePolicy",
+    "DPMakespanPolicy",
+    "best_period_search",
+]

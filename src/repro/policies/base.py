@@ -1,0 +1,57 @@
+"""Policy interface and the generic periodic policy."""
+
+from __future__ import annotations
+
+import abc
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.engine import JobContext
+
+__all__ = ["Policy", "PeriodicPolicy", "PolicyInfeasibleError"]
+
+
+class PolicyInfeasibleError(RuntimeError):
+    """Raised when a policy cannot produce meaningful checkpoint dates
+    for the given scenario (e.g. Liu with inter-checkpoint intervals
+    shorter than the checkpoint duration — the pathology the paper
+    reports for large Weibull platforms)."""
+
+
+class Policy(abc.ABC):
+    """A checkpointing strategy: the function ``f(omega | state)``.
+
+    The simulator calls :meth:`setup` once at job start, then
+    :meth:`next_chunk` at every decision point and :meth:`on_failure`
+    after every recovery.  A policy instance is used for one simulation
+    at a time (``setup`` must reset any internal state).
+    """
+
+    name: str = "policy"
+
+    def setup(self, ctx: "JobContext") -> None:
+        """Prepare for a fresh job execution."""
+
+    def on_failure(self, ctx: "JobContext") -> None:
+        """Notification that a failure occurred and recovery completed."""
+
+    @abc.abstractmethod
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        """Size (seconds of work) of the next chunk to attempt."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PeriodicPolicy(Policy):
+    """Checkpoint every ``period`` seconds of work, whatever happens."""
+
+    def __init__(self, period: float, name: str = "Periodic"):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = float(period)
+        self.name = name
+
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        return min(self.period, remaining)

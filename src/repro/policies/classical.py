@@ -1,0 +1,104 @@
+"""MTBF-based periodic policies: Young, Daly (low/high order), OptExp.
+
+All four compute a fixed period from the *platform* MTBF ``M =
+processor-MTBF / p`` — i.e. they implicitly assume Exponential failures.
+Following the paper, they are applied unchanged to Weibull and log-based
+scenarios, simply reusing the (empirical) MTBF.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.theory import optimal_num_chunks
+from repro.policies.base import Policy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.engine import JobContext
+
+__all__ = ["Young", "DalyLow", "DalyHigh", "OptExp"]
+
+
+class _MTBFPeriodic(Policy):
+    """Periodic policy whose period is derived from ctx at setup."""
+
+    def __init__(self):
+        self.period = math.nan
+
+    def setup(self, ctx: "JobContext") -> None:
+        self.period = self._compute_period(ctx)
+        if not self.period > 0:
+            raise ValueError(f"{self.name}: non-positive period {self.period}")
+
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        return min(self.period, remaining)
+
+    def _compute_period(self, ctx: "JobContext") -> float:
+        raise NotImplementedError
+
+
+class Young(_MTBFPeriodic):
+    """Young's first-order approximation [26]: ``sqrt(2 C M)``."""
+
+    name = "Young"
+
+    def _compute_period(self, ctx: "JobContext") -> float:
+        return math.sqrt(2.0 * ctx.checkpoint * ctx.platform_mtbf)
+
+
+class DalyLow(_MTBFPeriodic):
+    """Daly's lower-order estimate [8]: ``sqrt(2 C (M + D + R))``."""
+
+    name = "DalyLow"
+
+    def _compute_period(self, ctx: "JobContext") -> float:
+        return math.sqrt(
+            2.0
+            * ctx.checkpoint
+            * (ctx.platform_mtbf + ctx.downtime + ctx.recovery)
+        )
+
+
+class DalyHigh(_MTBFPeriodic):
+    """Daly's higher-order estimate [8]:
+
+        w = sqrt(2 C M) [1 + (1/3) sqrt(C / (2M)) + (1/9) (C / (2M))] - C
+
+    for ``C < 2M``, and ``w = M`` otherwise.
+    """
+
+    name = "DalyHigh"
+
+    def _compute_period(self, ctx: "JobContext") -> float:
+        c, m = ctx.checkpoint, ctx.platform_mtbf
+        if c >= 2.0 * m:
+            return m
+        ratio = c / (2.0 * m)
+        w = math.sqrt(2.0 * c * m) * (
+            1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+        ) - c
+        # The expansion can go non-positive in extreme regimes; fall back
+        # to Young's period rather than a nonsensical chunk.
+        return w if w > 0 else math.sqrt(2.0 * c * m)
+
+
+class OptExp(_MTBFPeriodic):
+    """The paper's optimal periodic policy for Exponential failures
+    (Proposition 5): split ``W(p)`` into ``K*`` equal chunks with
+    ``K0 = p lam W(p) / (1 + L(-e^{-p lam C(p) - 1}))``.
+
+    The chunk size depends on the total work, so it is computed lazily at
+    the first ``next_chunk`` call (where ``remaining`` equals ``W(p)``).
+    """
+
+    name = "OptExp"
+
+    def setup(self, ctx: "JobContext") -> None:
+        # lam_platform = 1 / platform MTBF = p * lam_processor
+        lam = 1.0 / ctx.platform_mtbf
+        k = optimal_num_chunks(lam, ctx.work_time, ctx.checkpoint)
+        self.period = ctx.work_time / k
+
+    def _compute_period(self, ctx: "JobContext") -> float:  # pragma: no cover
+        raise AssertionError("unused: setup overridden")

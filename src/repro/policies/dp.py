@@ -1,0 +1,180 @@
+"""The paper's dynamic-programming policies.
+
+- :class:`DPNextFailurePolicy`: at every (re)planning point, run the
+  parallel DPNextFailure on the current platform state (processor ages)
+  and execute the resulting chunk schedule until the next failure.  Uses
+  the paper's performance devices (Section 3.3): the ``(nexact,
+  napprox)`` state compression, the work truncation to ``2 x platform
+  MTBF``, and the use-only-the-first-half-of-the-schedule rule.
+- :class:`DPMakespanPolicy`: the Algorithm-1 policy.  For parallel jobs
+  it makes the paper's stated (false) assumption that all processors are
+  rejuvenated after each failure, replacing the platform by the
+  ``min``-law macro-processor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.dp_makespan import dp_makespan
+from repro.core.dp_nextfailure import dp_next_failure_parallel
+from repro.core.state import PlatformState
+from repro.distributions.minimum import MinOfIID
+from repro.policies.base import Policy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.engine import JobContext
+
+__all__ = ["DPNextFailurePolicy", "DPMakespanPolicy"]
+
+
+class DPNextFailurePolicy(Policy):
+    """Adaptive policy maximizing expected work before the next failure.
+
+    Parameters
+    ----------
+    n_grid:
+        Target number of work quanta per DP invocation (the quantum is
+        ``planning_horizon / n_grid``); the paper's accuracy/cost knob.
+    nexact, napprox:
+        State-compression parameters (paper: 10 and 100).
+    truncation:
+        Plan at most ``truncation x platform MTBF`` of work per
+        invocation (paper: 2).
+    use_fraction:
+        Fraction of the planned chunks actually executed before
+        replanning when the plan was truncated (paper: 1/2).
+    """
+
+    name = "DPNextFailure"
+
+    def __init__(
+        self,
+        n_grid: int = 96,
+        nexact: int = 10,
+        napprox: int = 100,
+        truncation: float = 2.0,
+        use_fraction: float = 0.5,
+        compress: bool = True,
+    ):
+        if n_grid < 2:
+            raise ValueError("n_grid must be >= 2")
+        self.n_grid = n_grid
+        self.nexact = nexact
+        self.napprox = napprox
+        self.truncation = truncation
+        self.use_fraction = use_fraction
+        self.compress = compress
+        self._queue: list[float] = []
+
+    def setup(self, ctx: "JobContext") -> None:
+        self._queue = []
+
+    def on_failure(self, ctx: "JobContext") -> None:
+        # The platform state changed: the current plan is stale.
+        self._queue = []
+
+    def _replan(self, remaining: float, ctx: "JobContext") -> None:
+        mtbf = ctx.platform_mtbf
+        horizon = remaining
+        truncated = False
+        if math.isfinite(mtbf) and self.truncation > 0:
+            cap = self.truncation * mtbf
+            if cap < remaining:
+                horizon = cap
+                truncated = True
+        state = PlatformState(np.asarray(ctx.ages, dtype=float), ctx.dist)
+        if self.compress:
+            state = state.compress(self.nexact, self.napprox)
+        u = max(horizon / self.n_grid, 1e-6)
+        result = dp_next_failure_parallel(horizon, ctx.checkpoint, state, u)
+        chunks = list(result.chunks)
+        if truncated and len(chunks) > 1:
+            keep = max(1, int(math.ceil(len(chunks) * self.use_fraction)))
+            chunks = chunks[:keep]
+        self._queue = chunks
+
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        if not self._queue:
+            self._replan(remaining, ctx)
+        w = self._queue.pop(0)
+        return min(w, remaining)
+
+
+class DPMakespanPolicy(Policy):
+    """Algorithm-1 policy (expected-makespan minimization).
+
+    Sequential jobs use the processor's failure law directly.  Parallel
+    jobs require the all-rejuvenation assumption (otherwise the state
+    space is exponential in ``p``): the platform becomes a single
+    macro-processor with the ``min``-of-iid law, whose age restarts at
+    every failure.
+
+    The quantum is ``max(C, W / n_grid)``: never finer than the
+    checkpoint duration (the grid encodes advances as multiples of ``u``
+    including checkpoints, so ``u`` must divide into ``C`` sensibly) and
+    never more than ``n_grid`` work quanta (the DP cost is cubic in
+    ``W/u``).  When ``W > n_grid * C`` the checkpoint cost is effectively
+    over-estimated as one quantum — the same quantization the paper's
+    Algorithm 1 incurs.
+    """
+
+    name = "DPMakespan"
+
+    def __init__(self, n_grid: int = 288):
+        if n_grid < 2:
+            raise ValueError("n_grid must be >= 2")
+        self.n_grid = n_grid
+        self._result = None
+        self._failed = False
+        self._elapsed_grid = 0.0
+        self._cache: dict[tuple, object] = {}
+
+    def setup(self, ctx: "JobContext") -> None:
+        self._failed = False
+        self._elapsed_grid = 0.0
+        law = MinOfIID(ctx.dist, ctx.n_units) if ctx.n_units > 1 else ctx.dist
+        u = max(ctx.checkpoint, ctx.work_time / self.n_grid, 1e-6)
+        # The macro-processor is taken fresh at job start (tau0 = 0); the
+        # DP solution then only depends on the scenario parameters and is
+        # cached across traces.
+        key = (
+            ctx.work_time,
+            ctx.checkpoint,
+            ctx.recovery,
+            ctx.downtime,
+            ctx.n_units,
+            repr(ctx.dist),
+        )
+        result = self._cache.get(key)
+        if result is None:
+            result = dp_makespan(
+                work=ctx.work_time,
+                checkpoint=ctx.checkpoint,
+                downtime=ctx.downtime,
+                recovery=ctx.recovery,
+                dist=law,
+                u=u,
+                tau0=0.0,
+            )
+            self._cache[key] = result
+        self._result = result
+
+    def on_failure(self, ctx: "JobContext") -> None:
+        self._failed = True
+        self._elapsed_grid = 0.0
+
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        # Model age of the macro-processor: grid time elapsed since job
+        # start (pre-failure plane) or since the last recovery ended
+        # (post-failure plane, whose base already accounts for R).
+        tau = (self._result.recovery if self._failed else 0.0) + self._elapsed_grid
+        w = self._result.chunk_for(remaining, tau, self._failed)
+        if w <= 0:
+            w = remaining
+        w = min(w, remaining)
+        self._elapsed_grid += w + ctx.checkpoint
+        return w

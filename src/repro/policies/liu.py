@@ -1,0 +1,95 @@
+"""Liu et al. non-periodic policy [17].
+
+Liu et al. place checkpoints through a *checkpointing frequency
+function*: following the variational-calculus optimum (Ling et al. [16]),
+the instantaneous checkpoint frequency is
+
+    n(t) = sqrt( h(t) / (2 C) )
+
+with ``h`` the (platform-level) failure hazard rate, and the checkpoint
+dates ``t_k`` solve ``N(t_k) = int_0^{t_k} n(u) du = k``.
+
+Like Bouguerra, the construction treats the platform as a renewal system
+whose hazard restarts at every failure, so we use the rejuvenated
+platform law ``min(X_1..X_p)``.  For Weibull shapes ``k < 1`` on large
+platforms the early hazard is so high that consecutive dates fall closer
+together than the checkpoint duration itself — the policy then cannot be
+executed, which is exactly the failure mode the paper reports (its Liu
+curves are incomplete and the authors suspect an error in [17]).  We
+surface that case as :class:`PolicyInfeasibleError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.minimum import MinOfIID
+from repro.policies.base import Policy, PolicyInfeasibleError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.engine import JobContext
+
+__all__ = ["Liu"]
+
+
+def liu_checkpoint_dates(dist, c: float, horizon: float, n_grid: int = 8192):
+    """Checkpoint dates ``t_k`` with ``int_0^{t_k} sqrt(h/2C) = k`` on
+    ``[0, horizon]``."""
+    # Geometric grid: decreasing hazards (Weibull k < 1) have an
+    # integrable singularity of sqrt(h) at t = 0 that a uniform grid
+    # would resolve poorly.
+    ts = np.geomspace(horizon * 1e-12, horizon, n_grid)
+    h = np.asarray(dist.hazard(ts), dtype=float)
+    h = np.nan_to_num(h, nan=0.0, posinf=0.0)
+    freq = np.sqrt(np.maximum(h, 0.0) / (2.0 * c))
+    head = freq[0] * ts[0]  # contribution of [0, ts[0]] (negligible)
+    big_n = head + np.concatenate(
+        [[0.0], np.cumsum(0.5 * (freq[1:] + freq[:-1]) * np.diff(ts))]
+    )
+    total = big_n[-1]
+    ks = np.arange(1.0, np.floor(total) + 1.0)
+    return np.interp(ks, big_n, ts)
+
+
+class Liu(Policy):
+    """Hazard-driven non-periodic policy; schedule restarts after each
+    failure (the recovered platform is treated as renewed)."""
+
+    name = "Liu"
+
+    def __init__(self):
+        self._chunks: list[float] = []
+        self._idx = 0
+
+    def setup(self, ctx: "JobContext") -> None:
+        platform_law = (
+            MinOfIID(ctx.dist, ctx.n_units) if ctx.n_units > 1 else ctx.dist
+        )
+        # Schedule horizon: enough wall-clock to finish the job with a
+        # comfortable margin of checkpoint overheads.
+        horizon = 3.0 * ctx.work_time + 100.0 * ctx.checkpoint
+        dates = liu_checkpoint_dates(platform_law, ctx.checkpoint, horizon)
+        if dates.size == 0:
+            raise PolicyInfeasibleError("Liu produced no checkpoint dates")
+        # Chunk k is the compute time between the end of checkpoint k-1
+        # and the start of checkpoint k.
+        starts = np.concatenate([[0.0], dates[:-1] + ctx.checkpoint])
+        chunks = dates - starts
+        if np.any(chunks <= 0):
+            raise PolicyInfeasibleError(
+                "Liu checkpoint dates closer than the checkpoint duration"
+            )
+        self._chunks = chunks.tolist()
+        self._idx = 0
+
+    def on_failure(self, ctx: "JobContext") -> None:
+        # Restart the date schedule relative to the recovery point.
+        self._idx = 0
+
+    def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
+        if self._idx >= len(self._chunks):
+            raise PolicyInfeasibleError("Liu schedule exhausted before job end")
+        w = self._chunks[self._idx]
+        self._idx += 1
+        return min(w, remaining)

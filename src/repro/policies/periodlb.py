@@ -1,0 +1,89 @@
+"""PeriodLB: numerical search for the best periodic policy.
+
+The paper's ``PeriodLB`` multiplies and divides the OptExp period by
+``1 + 0.05 i`` (``i <= 180``) and by ``1.1^j`` (``j <= 60``), evaluates
+every candidate period on a set of random scenarios, and keeps the best.
+It is a lower-bound *for periodic policies* that would be prohibitively
+expensive in practice.
+
+:func:`candidate_factors` reproduces that factor grid (scaled down by
+default); :func:`best_period_search` evaluates candidates over a trace
+set and returns the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.policies.base import PeriodicPolicy
+from repro.simulation.engine import simulate_job
+
+__all__ = ["candidate_factors", "best_period_search", "PeriodSearchResult"]
+
+
+def candidate_factors(n_linear: int = 10, n_geometric: int = 8, step: float = 0.05):
+    """Multiplicative factors around the base period.
+
+    Paper scale: ``n_linear=180, n_geometric=60``; defaults are reduced.
+    The grid is symmetric: each factor ``f`` is used as ``f`` and ``1/f``.
+    """
+    linear = 1.0 + step * np.arange(1, n_linear + 1)
+    geometric = 1.1 ** np.arange(1, n_geometric + 1)
+    f = np.concatenate([[1.0], linear, 1.0 / linear, geometric, 1.0 / geometric])
+    return np.unique(f)
+
+
+@dataclass
+class PeriodSearchResult:
+    """Outcome of the search: winning period and the full sweep."""
+
+    best_period: float
+    best_mean_makespan: float
+    periods: np.ndarray
+    mean_makespans: np.ndarray
+
+
+def best_period_search(
+    base_period: float,
+    work_time: float,
+    job_traces: list,
+    checkpoint: float,
+    recovery: float,
+    dist,
+    t0: float = 0.0,
+    platform_mtbf: float = np.nan,
+    factors=None,
+    max_makespan: float = np.inf,
+) -> PeriodSearchResult:
+    """Evaluate ``base_period * factor`` for every factor over the given
+    job traces and return the period minimizing the mean makespan."""
+    if factors is None:
+        factors = candidate_factors()
+    periods = np.asarray(sorted(base_period * np.asarray(factors)))
+    means = np.empty(periods.size)
+    for idx, period in enumerate(periods):
+        policy = PeriodicPolicy(period, name="PeriodCandidate")
+        spans = [
+            simulate_job(
+                policy,
+                work_time,
+                tr,
+                checkpoint,
+                recovery,
+                dist,
+                t0=t0,
+                platform_mtbf=platform_mtbf,
+                max_makespan=max_makespan,
+            ).makespan
+            for tr in job_traces
+        ]
+        means[idx] = float(np.mean(spans))
+    best = int(np.argmin(means))
+    return PeriodSearchResult(
+        best_period=float(periods[best]),
+        best_mean_makespan=float(means[best]),
+        periods=periods,
+        mean_makespans=means,
+    )

@@ -1,0 +1,14 @@
+"""Discrete-event simulation of checkpoint/restart execution."""
+
+from repro.simulation.engine import JobContext, simulate_job, simulate_lower_bound
+from repro.simulation.results import SimulationResult
+from repro.simulation.runner import ScenarioResult, run_scenarios
+
+__all__ = [
+    "JobContext",
+    "simulate_job",
+    "simulate_lower_bound",
+    "SimulationResult",
+    "ScenarioResult",
+    "run_scenarios",
+]

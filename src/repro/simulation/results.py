@@ -1,0 +1,67 @@
+"""Simulation outcome records."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one job execution on one failure trace.
+
+    Attributes
+    ----------
+    makespan:
+        Wall-clock time from job submission to completion (seconds);
+        ``inf`` if the job did not complete (``completed`` False).
+    work_time:
+        The failure-free execution time ``W(p)`` (useful compute).
+    n_failures:
+        Platform failures experienced during the execution (including
+        cascading failures during downtimes and recoveries).
+    n_checkpoints:
+        Checkpoints successfully taken.
+    n_attempts:
+        Chunk execution attempts (successful or not).
+    chunk_min / chunk_max:
+        Smallest / largest chunk size attempted (seconds of work), for
+        the paper's adaptivity observations; NaN when no attempt.
+    completed:
+        Whether the job finished within the allowed horizon.
+    time_lost:
+        Compute/checkpoint time spent on attempts that a failure voided.
+    time_outage:
+        Time from each failure to the end of its (possibly restarted)
+        recovery, cascades included.
+    time_waiting:
+        Initial wait for units still in downtime at submission.
+
+    For a completed run the accounting is exact:
+
+        makespan = work_time + n_checkpoints * C
+                   + time_lost + time_outage + time_waiting.
+    """
+
+    makespan: float
+    work_time: float
+    n_failures: int = 0
+    n_checkpoints: int = 0
+    n_attempts: int = 0
+    chunk_min: float = field(default=math.nan)
+    chunk_max: float = field(default=math.nan)
+    completed: bool = True
+    time_lost: float = 0.0
+    time_outage: float = 0.0
+    time_waiting: float = 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Time beyond the failure-free execution time."""
+        return self.makespan - self.work_time
+
+    @property
+    def waste_fraction(self) -> float:
+        return self.overhead / self.makespan if self.makespan > 0 else 0.0

@@ -1,0 +1,169 @@
+"""Scenario orchestration: run every policy over a set of failure traces.
+
+Mirrors the paper's methodology (Section 4.1): for an experimental
+scenario, generate ``n_traces`` independent platform failure traces, run
+every heuristic on every trace, add the omniscient ``LowerBound`` and the
+searched ``PeriodLB``, and hand the per-trace makespans to
+:mod:`repro.analysis` for the degradation-from-best statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.models import Platform
+from repro.core.theory import optimal_num_chunks
+from repro.policies.base import PeriodicPolicy, Policy, PolicyInfeasibleError
+from repro.simulation.engine import simulate_job, simulate_lower_bound
+from repro.simulation.results import SimulationResult
+from repro.traces.generation import generate_platform_traces
+
+__all__ = ["ScenarioResult", "run_scenarios"]
+
+LOWER_BOUND = "LowerBound"
+PERIOD_LB = "PeriodLB"
+
+
+@dataclass
+class ScenarioResult:
+    """Per-policy, per-trace outcomes of one experimental scenario."""
+
+    makespans: dict[str, np.ndarray]
+    details: dict[str, list[SimulationResult]] = field(default_factory=dict)
+    work_time: float = math.nan
+    best_period: float = math.nan
+
+    def policy_names(self) -> list[str]:
+        """Every recorded policy, including LowerBound/PeriodLB."""
+        return list(self.makespans)
+
+
+def _optexp_period(platform: Platform, work_time: float) -> float:
+    lam = 1.0 / platform.platform_mtbf
+    k = optimal_num_chunks(lam, work_time, platform.checkpoint)
+    return work_time / k
+
+
+def run_scenarios(
+    policies: list[Policy],
+    platform: Platform,
+    work_time: float,
+    n_traces: int,
+    horizon: float,
+    t0: float = 0.0,
+    seed=0,
+    include_lower_bound: bool = True,
+    include_period_lb: bool = True,
+    period_lb_factors=None,
+    period_lb_traces: int | None = None,
+    max_makespan: float = math.inf,
+) -> ScenarioResult:
+    """Run ``policies`` over ``n_traces`` freshly generated traces.
+
+    Traces are generated per scenario index with seeds derived from
+    ``seed`` so the whole experiment is reproducible; infeasible policies
+    (e.g. Liu on large Weibull platforms) record ``NaN`` makespans.
+    """
+    n_units = platform.num_nodes
+    job_traces = []
+    for i in range(n_traces):
+        plat_traces = generate_platform_traces(
+            platform.dist,
+            n_units,
+            horizon,
+            downtime=platform.downtime,
+            seed=np.random.SeedSequence([int(seed), i]),
+        )
+        job_traces.append(plat_traces.for_job(n_units))
+
+    makespans: dict[str, np.ndarray] = {}
+    details: dict[str, list[SimulationResult]] = {}
+
+    for policy in policies:
+        spans = np.full(n_traces, np.nan)
+        dets: list[SimulationResult] = []
+        for i, tr in enumerate(job_traces):
+            try:
+                res = simulate_job(
+                    policy,
+                    work_time,
+                    tr,
+                    platform.checkpoint,
+                    platform.recovery,
+                    platform.dist,
+                    t0=t0,
+                    platform_mtbf=platform.platform_mtbf,
+                    max_makespan=max_makespan,
+                )
+            except PolicyInfeasibleError:
+                dets.append(None)
+                continue
+            spans[i] = res.makespan
+            dets.append(res)
+        makespans[policy.name] = spans
+        details[policy.name] = dets
+
+    if include_lower_bound:
+        spans = np.array(
+            [
+                simulate_lower_bound(
+                    work_time, tr, platform.checkpoint, platform.recovery, t0=t0
+                ).makespan
+                for tr in job_traces
+            ]
+        )
+        makespans[LOWER_BOUND] = spans
+
+    best_period = math.nan
+    if include_period_lb:
+        # Imported here: periodlb drives the engine, so a module-level
+        # import would be circular through the package __init__s.
+        from repro.policies.periodlb import best_period_search, candidate_factors
+
+        base = _optexp_period(platform, work_time)
+        subset = job_traces[: (period_lb_traces or n_traces)]
+        search = best_period_search(
+            base,
+            work_time,
+            subset,
+            platform.checkpoint,
+            platform.recovery,
+            platform.dist,
+            t0=t0,
+            platform_mtbf=platform.platform_mtbf,
+            factors=(
+                period_lb_factors
+                if period_lb_factors is not None
+                else candidate_factors()
+            ),
+            max_makespan=max_makespan,
+        )
+        best_period = search.best_period
+        policy = PeriodicPolicy(best_period, name=PERIOD_LB)
+        spans = np.array(
+            [
+                simulate_job(
+                    policy,
+                    work_time,
+                    tr,
+                    platform.checkpoint,
+                    platform.recovery,
+                    platform.dist,
+                    t0=t0,
+                    platform_mtbf=platform.platform_mtbf,
+                    max_makespan=max_makespan,
+                ).makespan
+                for tr in job_traces
+            ]
+        )
+        makespans[PERIOD_LB] = spans
+
+    return ScenarioResult(
+        makespans=makespans,
+        details=details,
+        work_time=work_time,
+        best_period=best_period,
+    )

@@ -1,0 +1,25 @@
+"""Failure-trace generation (Section 4.3)."""
+
+from repro.traces.generation import (
+    JobTraces,
+    PlatformTraces,
+    generate_failure_times,
+    generate_platform_traces,
+    generate_rejuvenated_platform_traces,
+)
+from repro.traces.logs import (
+    SyntheticLog,
+    empirical_from_log,
+    synthesize_lanl_like_log,
+)
+
+__all__ = [
+    "generate_failure_times",
+    "generate_platform_traces",
+    "generate_rejuvenated_platform_traces",
+    "PlatformTraces",
+    "JobTraces",
+    "SyntheticLog",
+    "synthesize_lanl_like_log",
+    "empirical_from_log",
+]

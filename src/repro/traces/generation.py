@@ -1,0 +1,177 @@
+"""Per-processor failure trace generation and platform event streams.
+
+Following Section 4.3 of the paper:
+
+- a *failure trace* is, per failure unit (processor or node), the sorted
+  list of failure dates over a fixed horizon, obtained by sampling iid
+  lifetimes from the failure distribution (a new lifetime starts at the
+  end of each downtime);
+- job start time ``t0`` is offset into the horizon so that processors are
+  not synchronously "fresh" at job start;
+- when varying the number of processors ``p``, the traces for a ``p``-unit
+  job are the *prefix* of the traces generated for the largest platform,
+  so results are coherent across ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import FailureDistribution
+
+__all__ = [
+    "generate_failure_times",
+    "generate_platform_traces",
+    "generate_rejuvenated_platform_traces",
+    "PlatformTraces",
+    "JobTraces",
+]
+
+
+def generate_failure_times(
+    dist: FailureDistribution,
+    horizon: float,
+    rng: np.random.Generator,
+    downtime: float = 0.0,
+) -> np.ndarray:
+    """Failure dates of one unit over ``[0, horizon]``.
+
+    The unit starts a fresh lifetime at time 0; after a failure at ``t``
+    the next lifetime starts at ``t + downtime``.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    # Vectorized renewal sampling: within a batch, failure k lands at
+    # t + sum(x_1..x_k) + (k-1) * downtime, a strictly increasing
+    # sequence, so the horizon crossing is a single searchsorted.
+    mean = max(dist.mean(), 1e-9)
+    batch = max(16, int(horizon / (mean + downtime) * 1.25) + 16)
+    chunks: list[np.ndarray] = []
+    t = 0.0
+    while True:
+        xs = np.asarray(dist.sample(rng, size=batch), dtype=float)
+        fails = t + np.cumsum(xs) + downtime * np.arange(batch)
+        cut = int(np.searchsorted(fails, horizon, side="right"))
+        chunks.append(fails[:cut])
+        if cut < batch:
+            break
+        t = fails[-1] + downtime
+    return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+def generate_platform_traces(
+    dist: FailureDistribution,
+    n_units: int,
+    horizon: float,
+    downtime: float = 0.0,
+    seed=0,
+) -> "PlatformTraces":
+    """Independent traces for ``n_units`` failure units.
+
+    Each unit gets its own child of ``numpy.random.SeedSequence(seed)``,
+    so traces are reproducible and independent of how many units a later
+    job actually uses.
+    """
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    children = ss.spawn(n_units)
+    per_unit = [
+        generate_failure_times(dist, horizon, np.random.default_rng(child), downtime)
+        for child in children
+    ]
+    return PlatformTraces(per_unit, horizon=horizon, downtime=downtime)
+
+
+def generate_rejuvenated_platform_traces(
+    dist: FailureDistribution,
+    n_units: int,
+    horizon: float,
+    downtime: float = 0.0,
+    seed=0,
+) -> "PlatformTraces":
+    """Traces under the *all-processor rejuvenation* model (Appendix B.1).
+
+    Rejuvenating every processor after each failure makes platform
+    failures a renewal process with the ``min``-of-iid law, so the whole
+    platform is represented by a single macro failure unit.  (For
+    Exponential lifetimes this is statistically identical to
+    :func:`generate_platform_traces` — memorylessness — which is why the
+    paper only simulates both options in that case.)
+    """
+    from repro.distributions.minimum import MinOfIID
+
+    law = MinOfIID(dist, n_units) if n_units > 1 else dist
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    rng = np.random.default_rng(ss)
+    times = generate_failure_times(law, horizon, rng, downtime)
+    return PlatformTraces([times], horizon=horizon, downtime=downtime)
+
+
+@dataclass
+class JobTraces:
+    """Merged failure events restricted to the units a job uses.
+
+    ``times`` is sorted ascending; ``units[i]`` identifies the failing
+    unit of event ``i``.  Events beyond the recorded horizon are treated
+    as non-existent (failure-free tail): size horizons generously.
+    """
+
+    times: np.ndarray
+    units: np.ndarray
+    n_units: int
+    downtime: float
+    horizon: float
+
+    def next_event_index(self, t: float) -> int:
+        """Index of the first event strictly after ``t`` (may be len)."""
+        return int(np.searchsorted(self.times, t, side="right"))
+
+    def lifetime_starts_at(self, t0: float) -> np.ndarray:
+        """Per-unit lifetime start times as of ``t0``.
+
+        A unit that failed last at ``tf < t0`` has its current lifetime
+        starting at ``tf + downtime`` — possibly *after* ``t0`` when the
+        downtime is still in progress at submission; a unit that never
+        failed started at time 0 (beginning of the horizon).
+        """
+        starts = np.zeros(self.n_units)
+        before = self.times < t0
+        if before.any():
+            # last failure per unit among events before t0
+            for u, tf in zip(self.units[before], self.times[before]):
+                starts[u] = max(starts[u], tf + self.downtime)
+        return starts
+
+
+class PlatformTraces:
+    """Failure traces of a full platform; jobs consume unit prefixes."""
+
+    def __init__(self, per_unit: list[np.ndarray], horizon: float, downtime: float):
+        self.per_unit = [np.asarray(t, dtype=float) for t in per_unit]
+        self.horizon = float(horizon)
+        self.downtime = float(downtime)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.per_unit)
+
+    def for_job(self, n_units: int) -> JobTraces:
+        """Merged, sorted event stream of the first ``n_units`` units."""
+        if not 1 <= n_units <= self.n_units:
+            raise ValueError(
+                f"job needs {n_units} units but platform has {self.n_units}"
+            )
+        chunks = self.per_unit[:n_units]
+        times = np.concatenate(chunks) if chunks else np.empty(0)
+        units = np.concatenate(
+            [np.full(c.size, i, dtype=np.int64) for i, c in enumerate(chunks)]
+        ) if chunks else np.empty(0, dtype=np.int64)
+        order = np.argsort(times, kind="stable")
+        return JobTraces(
+            times=times[order],
+            units=units[order],
+            n_units=n_units,
+            downtime=self.downtime,
+            horizon=self.horizon,
+        )

@@ -1,0 +1,103 @@
+"""Synthetic LANL-like failure logs (substitution for the Failure Trace
+Archive data).
+
+The paper's log-based experiments use availability logs of LANL clusters
+18 and 19 (Schroeder & Gibson, DSN 2006): >1000 nodes of 4 processors,
+multi-year horizons, node-level availability durations whose Weibull fits
+have shape parameters between 0.33 and 0.49 — strongly decreasing hazard,
+plus a noticeable mass of short "repeat failure" intervals.
+
+Since the archive is unavailable offline, :func:`synthesize_lanl_like_log`
+generates a log with the same statistical signature: a Weibull bulk with
+``k ~ 0.45`` mixed with a LogNormal cluster of short repeat intervals.
+:func:`empirical_from_log` then constructs the paper's discrete empirical
+distribution from the raw durations, exactly as Section 4.3 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.empirical import Empirical
+from repro.units import HOUR, YEAR
+
+__all__ = ["SyntheticLog", "synthesize_lanl_like_log", "empirical_from_log"]
+
+
+@dataclass(frozen=True)
+class SyntheticLog:
+    """A synthesized cluster availability log.
+
+    Attributes
+    ----------
+    durations:
+        All node availability intervals (seconds), pooled across nodes.
+    n_nodes:
+        Number of nodes in the synthetic cluster.
+    procs_per_node:
+        4, matching the LANL clusters.
+    name:
+        Identifier ("lanl-like-18" / "lanl-like-19").
+    """
+
+    durations: np.ndarray
+    n_nodes: int
+    procs_per_node: int
+    name: str
+
+
+# Profiles loosely mirroring the two clusters: same node counts as the
+# archive's clusters 18/19 (1024 and 1024 nodes reported as >1000), with
+# slightly different Weibull bulks so the two "clusters" are not clones.
+_PROFILES = {
+    18: dict(n_nodes=1024, k_bulk=0.42, mean_bulk=2800 * HOUR, short_frac=0.12),
+    19: dict(n_nodes=1024, k_bulk=0.48, mean_bulk=2500 * HOUR, short_frac=0.10),
+}
+
+
+def synthesize_lanl_like_log(
+    cluster: int = 19,
+    years: float = 9.0,
+    seed=0,
+) -> SyntheticLog:
+    """Generate a synthetic availability log in the image of LANL cluster
+    ``18`` or ``19``.
+
+    Per node, availability intervals are drawn until ``years`` of uptime
+    are accumulated; each interval is, with probability ``short_frac``, a
+    short repeat-failure interval (LogNormal, median ~ 1.5 h), otherwise a
+    Weibull(k_bulk) draw with the profile's mean.
+    """
+    if cluster not in _PROFILES:
+        raise ValueError(f"unknown cluster {cluster}; choose 18 or 19")
+    prof = _PROFILES[cluster]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, cluster]))
+    horizon = years * YEAR
+    import math
+
+    lam_bulk = prof["mean_bulk"] / math.gamma(1.0 + 1.0 / prof["k_bulk"])
+    durations: list[float] = []
+    for _ in range(prof["n_nodes"]):
+        acc = 0.0
+        while acc < horizon:
+            if rng.random() < prof["short_frac"]:
+                d = float(rng.lognormal(mean=np.log(1.5 * HOUR), sigma=1.0))
+            else:
+                d = float(lam_bulk * rng.weibull(prof["k_bulk"]))
+            d = max(d, 30.0)  # logs have a measurement floor
+            durations.append(d)
+            acc += d
+    return SyntheticLog(
+        durations=np.asarray(durations),
+        n_nodes=prof["n_nodes"],
+        procs_per_node=4,
+        name=f"lanl-like-{cluster}",
+    )
+
+
+def empirical_from_log(log: SyntheticLog) -> Empirical:
+    """The paper's discrete failure distribution: conditional survival
+    ratios over the set of logged availability durations."""
+    return Empirical(log.durations)

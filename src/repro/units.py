@@ -1,0 +1,10 @@
+"""Time unit constants (seconds).  The paper counts years as 365 days."""
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+YEAR = 365 * DAY
+
+__all__ = ["SECOND", "MINUTE", "HOUR", "DAY", "WEEK", "YEAR"]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical, Exponential, Gamma, LogNormal, Weibull
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def exponential_day():
+    return Exponential.from_mtbf(DAY)
+
+
+@pytest.fixture
+def weibull_day():
+    return Weibull.from_mtbf(DAY, 0.7)
+
+
+def all_distributions():
+    """One representative of every distribution family, MTBF ~ 1 day."""
+    rng = np.random.default_rng(7)
+    return [
+        Exponential.from_mtbf(DAY),
+        Weibull.from_mtbf(DAY, 0.7),
+        Weibull.from_mtbf(DAY, 1.5),
+        Gamma.from_mtbf(DAY, 0.6),
+        Gamma.from_mtbf(DAY, 2.0),
+        LogNormal.from_mtbf(DAY, 1.0),
+        Empirical(rng.weibull(0.7, size=4000) * DAY),
+    ]
+
+
+def dist_id(dist):
+    return repr(dist)[:40]

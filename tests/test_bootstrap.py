@@ -1,0 +1,62 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_mean_ci, degradation_cis
+
+
+class TestBootstrapMean:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for i in range(40):
+            xs = rng.normal(5.0, 2.0, size=200)
+            ci = bootstrap_mean_ci(xs, seed=i)
+            if ci.lo <= 5.0 <= ci.hi:
+                hits += 1
+        assert hits >= 33  # ~95% coverage with slack
+
+    def test_interval_ordering(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0, 4.0], seed=1)
+        assert ci.lo <= ci.mean <= ci.hi
+
+    def test_nan_dropped(self):
+        ci = bootstrap_mean_ci([1.0, np.nan, 3.0], seed=2)
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([np.nan])
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 30), seed=4)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 3000), seed=4)
+        assert (large.hi - large.lo) < (small.hi - small.lo)
+
+    def test_overlap(self):
+        a = BootstrapCI(1.0, 0.9, 1.1, 0.95)
+        b = BootstrapCI(1.05, 1.0, 1.2, 0.95)
+        c = BootstrapCI(2.0, 1.8, 2.2, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestDegradationCIs:
+    def test_separates_clear_winner(self):
+        rng = np.random.default_rng(5)
+        n = 200
+        best = 100.0 + rng.normal(0, 1.0, n)
+        worse = 120.0 + rng.normal(0, 1.0, n)
+        cis = degradation_cis({"good": best, "bad": worse})
+        assert cis["good"].hi < cis["bad"].lo
+
+    def test_lower_bound_excluded_from_best(self):
+        spans = {
+            "A": np.array([100.0, 110.0]),
+            "LowerBound": np.array([80.0, 90.0]),
+        }
+        cis = degradation_cis(spans)
+        assert cis["A"].mean == pytest.approx(1.0)
+        assert cis["LowerBound"].mean < 1.0

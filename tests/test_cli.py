@@ -1,0 +1,92 @@
+"""CLI: argument parsing and end-to-end subcommands."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_duration
+from repro.units import DAY, HOUR, MINUTE, WEEK, YEAR
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("600", 600.0),
+            ("600s", 600.0),
+            ("5m", 5 * MINUTE),
+            ("1.5h", 1.5 * HOUR),
+            ("20d", 20 * DAY),
+            ("2w", 2 * WEEK),
+            ("125y", 125 * YEAR),
+            (" 1d ", DAY),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "abc", "-5d", "0", "1q"])
+    def test_invalid(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_duration(text)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.mtbf == DAY
+        assert args.work == 20 * DAY
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestEndToEnd:
+    def test_plan(self, capsys):
+        assert main(["plan", "--mtbf", "1d", "--work", "20d"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal chunks   : 177" in out
+
+    def test_mtbf(self, capsys):
+        assert main(["mtbf", "--p", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "single-rejuvenation" in out
+
+    def test_simulate_periodic(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--policy",
+                "period:2h",
+                "--traces",
+                "2",
+                "--work",
+                "2d",
+                "--mtbf",
+                "1d",
+                "--dist",
+                "exponential",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean makespan" in out
+
+    def test_simulate_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "nope"])
+
+    def test_experiment_fig1_chart(self, capsys):
+        assert main(["experiment", "fig1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "with rejuvenation" in out
+
+    def test_experiment_table4_smoke(self, capsys):
+        assert main(["experiment", "table4", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "DPNextFailure" in out

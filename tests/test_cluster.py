@@ -1,0 +1,170 @@
+"""Work models, overhead models, platform, presets."""
+
+import pytest
+
+from repro.cluster import (
+    AmdahlLaw,
+    ConstantOverhead,
+    EmbarrassinglyParallel,
+    EXASCALE,
+    NumericalKernel,
+    PETASCALE,
+    Platform,
+    ProportionalOverhead,
+    SINGLE_PROC,
+    scaled_petascale,
+)
+from repro.distributions import Exponential, Weibull
+from repro.units import DAY, YEAR
+
+
+class TestWorkModels:
+    def test_embarrassingly_parallel(self):
+        wm = EmbarrassinglyParallel(1000.0)
+        assert wm.time(1) == 1000.0
+        assert wm.time(10) == 100.0
+        assert wm.speedup(10) == pytest.approx(10.0)
+
+    def test_amdahl_asymptote(self):
+        wm = AmdahlLaw(1000.0, gamma=0.01)
+        assert wm.time(1) == pytest.approx(1010.0)
+        # speedup bounded by 1/gamma
+        assert wm.speedup(10**6) < 1 / 0.01 * 1.02
+
+    def test_amdahl_validates_gamma(self):
+        with pytest.raises(ValueError):
+            AmdahlLaw(1000.0, gamma=1.5)
+
+    def test_numerical_kernel(self):
+        wm = NumericalKernel(8000.0, gamma=1.0)
+        assert wm.time(4) == pytest.approx(8000.0 / 4 + 8000.0 ** (2 / 3) / 2)
+
+    def test_kernel_speedup_below_linear(self):
+        wm = NumericalKernel(1e9, gamma=1.0)
+        assert wm.speedup(1024) < 1024
+
+    def test_rejects_p_zero(self):
+        with pytest.raises(ValueError):
+            EmbarrassinglyParallel(10.0).time(0)
+
+
+class TestOverheads:
+    def test_constant(self):
+        oh = ConstantOverhead(600.0)
+        assert oh.checkpoint(1) == oh.checkpoint(10**6) == 600.0
+        assert oh.recovery(42) == 600.0
+
+    def test_proportional(self):
+        oh = ProportionalOverhead(600.0, 45_208)
+        assert oh.checkpoint(45_208) == pytest.approx(600.0)
+        assert oh.checkpoint(11_302) == pytest.approx(2400.0)
+
+
+class TestPlatform:
+    def test_mtbf_accounting(self):
+        plat = Platform(
+            p=100,
+            dist=Exponential.from_mtbf(100 * DAY),
+            downtime=60.0,
+            overhead=ConstantOverhead(600.0),
+        )
+        assert plat.processor_mtbf == pytest.approx(100 * DAY + 60.0)
+        assert plat.platform_mtbf == pytest.approx((100 * DAY + 60.0) / 100)
+
+    def test_node_granularity(self):
+        plat = Platform(
+            p=100,
+            dist=Exponential.from_mtbf(100 * DAY),
+            downtime=60.0,
+            overhead=ConstantOverhead(600.0),
+            procs_per_node=4,
+        )
+        assert plat.num_nodes == 25
+        assert plat.platform_mtbf == pytest.approx((100 * DAY + 60.0) / 25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Platform(
+                p=0,
+                dist=Exponential(1.0),
+                downtime=60.0,
+                overhead=ConstantOverhead(1.0),
+            )
+
+
+class TestPresets:
+    def test_table1_values(self):
+        assert SINGLE_PROC.ptotal == 1
+        assert PETASCALE.ptotal == 45_208
+        assert EXASCALE.ptotal == 2**20
+        assert PETASCALE.processor_mtbf == pytest.approx(125 * YEAR)
+        assert EXASCALE.processor_mtbf == pytest.approx(1250 * YEAR)
+        assert PETASCALE.overhead_seconds == 600.0
+        assert PETASCALE.downtime == 60.0
+
+    def test_full_platform_job_durations(self):
+        """~8 days on full Petascale, ~3.5 days on full Exascale."""
+        assert PETASCALE.work / PETASCALE.ptotal == pytest.approx(
+            8 * DAY, rel=0.05
+        )
+        assert EXASCALE.work / EXASCALE.ptotal == pytest.approx(
+            3.5 * DAY, rel=0.15
+        )
+
+    def test_scaling_preserves_ratios(self):
+        s = scaled_petascale(1024)
+        # platform MTBF at full machine unchanged
+        assert s.platform_mtbf == pytest.approx(PETASCALE.platform_mtbf)
+        # full-machine job duration unchanged
+        assert s.work / s.ptotal == pytest.approx(
+            PETASCALE.work / PETASCALE.ptotal
+        )
+        # age-freshness ratio unchanged
+        assert s.start_offset / s.processor_mtbf == pytest.approx(
+            PETASCALE.start_offset / PETASCALE.processor_mtbf
+        )
+
+    def test_with_mtbf(self):
+        alt = PETASCALE.with_mtbf(500 * YEAR)
+        assert alt.processor_mtbf == pytest.approx(500 * YEAR)
+        assert alt.ptotal == PETASCALE.ptotal
+
+    def test_scaling_ratio(self):
+        assert PETASCALE.scaling_ratio == 1.0
+        s = scaled_petascale(512)
+        assert s.scaling_ratio == pytest.approx(45_208 / 512)
+        # re-scaling keeps the original reference
+        s2 = s.scale(128)
+        assert s2.scaling_ratio == pytest.approx(45_208 / 128)
+
+
+class TestGammaRescaling:
+    def test_amdahl_crossover_fraction_preserved(self):
+        """The platform fraction where gamma*W overtakes W/p must be the
+        same on the paper's machine and on a scaled one."""
+        from repro.experiments.scaling import make_work_model
+
+        gamma = 1e-4
+        paper = make_work_model("amdahl", PETASCALE, gamma=gamma)
+        scaled = make_work_model("amdahl", scaled_petascale(512), gamma=gamma)
+        f_paper = (1 / paper.gamma) / PETASCALE.ptotal
+        f_scaled = (1 / scaled.gamma) / 512
+        assert f_scaled == pytest.approx(f_paper, rel=1e-9)
+
+    def test_kernel_crossover_fraction_preserved(self):
+        from repro.experiments.scaling import make_work_model
+
+        gamma = 1.0
+        paper = make_work_model("kernel", PETASCALE, gamma=gamma)
+        s = scaled_petascale(512)
+        scaled = make_work_model("kernel", s, gamma=gamma)
+        # crossover p* = W^{2/3} / gamma^2
+        f_paper = PETASCALE.work ** (2 / 3) / paper.gamma**2 / PETASCALE.ptotal
+        f_scaled = s.work ** (2 / 3) / scaled.gamma**2 / s.ptotal
+        assert f_scaled == pytest.approx(f_paper, rel=1e-9)
+
+    def test_unscaled_preset_keeps_gamma(self):
+        from repro.experiments.scaling import make_work_model
+
+        wm = make_work_model("amdahl", PETASCALE, gamma=1e-6)
+        assert wm.gamma == pytest.approx(1e-6)

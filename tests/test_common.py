@@ -1,0 +1,93 @@
+"""Experiment plumbing: distributions-by-name, policy sets, NaN paths."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.models import ConstantOverhead, Platform
+from repro.distributions import Exponential, Weibull
+from repro.experiments import SMOKE
+from repro.experiments.common import (
+    default_parallel_policies,
+    logbased_policies,
+    make_distribution,
+    single_proc_policies,
+)
+from repro.simulation.runner import run_scenarios
+from repro.units import DAY, YEAR
+
+
+class TestMakeDistribution:
+    def test_exponential(self):
+        d = make_distribution("exponential", DAY)
+        assert isinstance(d, Exponential)
+        assert d.mean() == pytest.approx(DAY)
+
+    def test_weibull(self):
+        d = make_distribution("weibull", DAY, 0.5)
+        assert isinstance(d, Weibull)
+        assert d.k == 0.5
+        assert d.mean() == pytest.approx(DAY)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_distribution("zipf", DAY)
+
+
+class TestPolicySets:
+    def test_parallel_set_matches_paper(self):
+        names = {p.name for p in default_parallel_policies(SMOKE, True)}
+        assert names == {
+            "Young",
+            "DalyLow",
+            "DalyHigh",
+            "Liu",
+            "Bouguerra",
+            "OptExp",
+            "DPNextFailure",
+            "DPMakespan",
+        }
+
+    def test_weibull_set_drops_dpmakespan(self):
+        names = {p.name for p in default_parallel_policies(SMOKE, False)}
+        assert "DPMakespan" not in names
+
+    def test_logbased_set(self):
+        names = {p.name for p in logbased_policies(SMOKE)}
+        assert names == {"Young", "DalyLow", "DalyHigh", "OptExp", "DPNextFailure"}
+
+    def test_single_proc_has_all_ten_minus_bounds(self):
+        assert len(single_proc_policies(SMOKE)) == 8
+
+
+class TestInfeasiblePolicyPath:
+    def test_infeasible_policy_records_nan(self):
+        """An infeasible policy must record NaN makespans, not crash the
+        scenario (the paper's Liu curves are incomplete this way)."""
+        from repro.policies import Young
+        from repro.policies.base import Policy, PolicyInfeasibleError
+
+        class AlwaysInfeasible(Policy):
+            name = "Broken"
+
+            def setup(self, ctx):
+                raise PolicyInfeasibleError("cannot schedule")
+
+            def next_chunk(self, remaining, ctx):  # pragma: no cover
+                raise AssertionError
+
+        dist = Weibull.from_mtbf(30 * DAY, 0.7)
+        platform = Platform(
+            p=4, dist=dist, downtime=60.0, overhead=ConstantOverhead(600.0)
+        )
+        res = run_scenarios(
+            [AlwaysInfeasible(), Young()],
+            platform,
+            work_time=2 * DAY,
+            n_traces=2,
+            horizon=400 * DAY,
+            seed=0,
+            include_period_lb=False,
+            include_lower_bound=False,
+        )
+        assert np.all(np.isnan(res.makespans["Broken"]))
+        assert np.all(np.isfinite(res.makespans["Young"]))

@@ -1,0 +1,118 @@
+"""Interface-level properties every failure distribution must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.units import DAY
+
+from .conftest import all_distributions, dist_id
+
+DISTS = all_distributions()
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=dist_id)
+class TestSurvivalFunction:
+    def test_sf_at_zero_is_one(self, dist):
+        assert dist.sf(0.0) == pytest.approx(1.0)
+
+    def test_sf_is_decreasing(self, dist):
+        ts = np.linspace(0.0, 5 * DAY, 200)
+        sf = np.atleast_1d(dist.sf(ts))
+        assert np.all(np.diff(sf) <= 1e-12)
+
+    def test_sf_bounded(self, dist):
+        ts = np.geomspace(1.0, 100 * DAY, 50)
+        sf = np.atleast_1d(dist.sf(ts))
+        assert np.all(sf >= 0.0) and np.all(sf <= 1.0)
+
+    def test_cdf_complements_sf(self, dist):
+        ts = np.geomspace(10.0, 10 * DAY, 20)
+        assert np.allclose(dist.cdf(ts) + dist.sf(ts), 1.0)
+
+    def test_logsf_consistent_with_sf(self, dist):
+        ts = np.geomspace(10.0, 3 * DAY, 20)
+        sf = np.atleast_1d(dist.sf(ts))
+        logsf = np.atleast_1d(dist.logsf(ts))
+        mask = sf > 1e-12
+        assert np.allclose(np.exp(logsf[mask]), sf[mask], rtol=1e-8)
+
+    def test_sf_negative_time_is_one(self, dist):
+        assert dist.sf(-5.0) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=dist_id)
+class TestConditionalSurvival:
+    def test_psuc_is_probability(self, dist):
+        for tau in (0.0, DAY / 4, 2 * DAY):
+            p = float(dist.psuc(DAY / 2, tau))
+            assert 0.0 <= p <= 1.0
+
+    def test_psuc_zero_window_is_one(self, dist):
+        assert float(dist.psuc(0.0, DAY / 3)) == pytest.approx(1.0)
+
+    def test_psuc_decreasing_in_window(self, dist):
+        xs = np.linspace(0.0, 2 * DAY, 50)
+        p = np.atleast_1d(dist.psuc(xs, DAY / 5))
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_psuc_matches_sf_ratio(self, dist):
+        tau, x = DAY / 3, DAY / 2
+        expected = dist.sf(tau + x) / dist.sf(tau)
+        assert float(dist.psuc(x, tau)) == pytest.approx(float(expected), rel=1e-9)
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=dist_id)
+class TestMoments:
+    def test_mean_positive(self, dist):
+        assert dist.mean() > 0
+
+    def test_sample_mean_close(self, dist):
+        rng = np.random.default_rng(0)
+        xs = np.asarray(dist.sample(rng, size=40_000), dtype=float)
+        assert np.all(xs >= 0)
+        # heavy tails: generous tolerance
+        assert xs.mean() == pytest.approx(dist.mean(), rel=0.15)
+
+    def test_quantile_inverts_cdf(self, dist):
+        for q in (0.1, 0.5, 0.9):
+            t = float(np.asarray(dist.quantile(q)).ravel()[0])
+            # discrete distributions overshoot slightly; allow slack
+            assert dist.cdf(t) == pytest.approx(q, abs=0.02)
+
+    def test_quantile_monotone(self, dist):
+        qs = np.array([0.05, 0.25, 0.5, 0.75, 0.95])
+        ts = np.asarray(dist.quantile(qs), dtype=float)
+        assert np.all(np.diff(ts) >= 0)
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=dist_id)
+class TestHazardAndLoss:
+    def test_hazard_nonnegative(self, dist):
+        ts = np.geomspace(60.0, 5 * DAY, 30)
+        h = np.atleast_1d(dist.hazard(ts))
+        assert np.all(h >= 0)
+
+    def test_expected_tlost_bounds(self, dist):
+        x = DAY / 2
+        for tau in (0.0, DAY / 4):
+            tl = dist.expected_tlost(x, tau)
+            assert 0.0 <= tl <= x
+
+    def test_expected_tlost_zero_window(self, dist):
+        assert dist.expected_tlost(0.0, 0.0) == 0.0
+
+    def test_sample_conditional_nonnegative(self, dist):
+        rng = np.random.default_rng(3)
+        xs = np.asarray(dist.sample_conditional(rng, DAY / 4, size=500), dtype=float)
+        assert np.all(xs >= -1e-9)
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=dist_id)
+def test_conditional_sampling_consistent_with_psuc(dist):
+    """Empirical survival of conditional samples matches Psuc."""
+    rng = np.random.default_rng(11)
+    tau = DAY / 5
+    xs = np.asarray(dist.sample_conditional(rng, tau, size=20_000), dtype=float)
+    x_probe = DAY / 2
+    emp = float(np.mean(xs >= x_probe))
+    assert emp == pytest.approx(float(dist.psuc(x_probe, tau)), abs=0.02)

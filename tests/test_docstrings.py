@@ -1,0 +1,56 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def _public_modules():
+    mods = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES or any(
+            part.startswith("_") for part in info.name.split(".")[1:]
+        ):
+            continue
+        mods.append(info.name)
+    return sorted(mods)
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_docstring(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_items_documented(name):
+    mod = importlib.import_module(name)
+    missing = []
+    for attr in getattr(mod, "__all__", []):
+        obj = getattr(mod, attr)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (inspect.getdoc(obj) or "").strip():
+                missing.append(attr)
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_") or meth_name not in obj.__dict__:
+                        continue
+                    if not (inspect.getdoc(meth) or "").strip():
+                        missing.append(f"{attr}.{meth_name}")
+    assert not missing, f"{name}: undocumented public items {missing}"
+
+
+def test_every_package_module_is_reachable():
+    """Guard against orphaned modules: everything under src/repro should
+    be importable (catches syntax errors in rarely-imported files)."""
+    for name in MODULES:
+        importlib.import_module(name)

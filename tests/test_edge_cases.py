@@ -1,0 +1,125 @@
+"""Edge cases across modules: tiny workloads, extreme parameters,
+degenerate configurations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import dp_next_failure, expected_makespan_optimal
+from repro.core.dp_makespan import dp_makespan
+from repro.distributions import Deterministic, Exponential, Weibull
+from repro.policies.base import PeriodicPolicy
+from repro.simulation import simulate_job, simulate_lower_bound
+from repro.traces.generation import PlatformTraces
+from repro.units import DAY, HOUR
+
+
+class TestTinyWork:
+    def test_work_smaller_than_quantum(self):
+        r = dp_next_failure(10.0, 600.0, Exponential(1 / DAY), u=600.0)
+        assert r.chunks.size == 1
+        assert r.chunks[0] == pytest.approx(600.0)  # rounded up to 1 quantum
+
+    def test_single_quantum_makespan(self):
+        res = dp_makespan(600.0, 600.0, 60.0, 600.0, Exponential(1 / DAY), u=600.0)
+        assert res.first_chunk == pytest.approx(600.0)
+        assert res.expected_makespan > 1200.0
+
+    def test_zero_work_theorem(self):
+        plan = expected_makespan_optimal(1 / DAY, 0.0, 600.0, 60.0, 600.0)
+        assert plan.num_chunks == 1
+
+    def test_simulator_tiny_job(self):
+        tr = PlatformTraces([np.array([])], 1e9, 50.0).for_job(1)
+        res = simulate_job(
+            PeriodicPolicy(1000.0), 1.0, tr, 100.0, 80.0, Exponential(1.0)
+        )
+        assert res.makespan == pytest.approx(101.0)
+
+
+class TestExtremeFailureRates:
+    def test_near_certain_failure_job_still_terminates(self):
+        """Deterministic failures every 500 s with C=100: only chunks
+        under 400 s can ever commit; the job must still finish."""
+        d = Deterministic(500.0)
+        times = np.cumsum(np.full(200, 500.0 + 50.0))
+        tr = PlatformTraces([times], 1e9, 50.0).for_job(1)
+        res = simulate_job(PeriodicPolicy(300.0), 1200.0, tr, 100.0, 80.0, d)
+        assert res.completed
+        assert res.n_failures >= 1
+
+    def test_chunk_longer_than_every_window_never_finishes(self):
+        """A period too long for any failure-free window hits the
+        max_makespan guard instead of looping forever."""
+        d = Deterministic(500.0)
+        times = np.cumsum(np.full(2000, 550.0))
+        tr = PlatformTraces([times], 1e9, 50.0).for_job(1)
+        res = simulate_job(
+            PeriodicPolicy(450.0),  # 450 + 100 = 550 > every window
+            1200.0,
+            tr,
+            100.0,
+            80.0,
+            d,
+            max_makespan=100_000.0,
+        )
+        assert not res.completed
+        assert math.isinf(res.makespan)
+
+    def test_lower_bound_survives_dense_failures(self):
+        times = np.cumsum(np.full(5000, 130.0))
+        tr = PlatformTraces([times], 1e9, 50.0).for_job(1)
+        res = simulate_lower_bound(100.0, tr, 100.0, 80.0)
+        assert res.completed
+
+
+class TestWeibullExtremes:
+    @pytest.mark.parametrize("k", [0.1, 0.15])
+    def test_heavy_tail_dp_is_finite(self, k):
+        d = Weibull.from_mtbf(DAY, k)
+        r = dp_next_failure(6 * HOUR, 600.0, d, u=900.0, tau=HOUR)
+        assert np.isfinite(r.expected_work)
+        assert r.expected_work > 0
+
+    def test_nextfailure_splits_even_at_tiny_hazard(self):
+        """A characteristic of the NextFailure objective: checkpoints
+        only cost failure *exposure* (not makespan), while splitting
+        earns partial credit on failure — so it checkpoints more than
+        the makespan optimum even when failures are unlikely.  (This is
+        why the paper's Tables 2-3 show DPNextFailure slightly behind
+        the optimum at the one-week MTBF.)"""
+        d = Weibull.from_mtbf(DAY, 0.3)
+        r = dp_next_failure(6 * HOUR, 600.0, d, u=900.0, tau=1000 * DAY)
+        assert float(d.psuc(6 * HOUR + 600.0, 1000 * DAY)) > 0.99
+        assert r.chunks.size > 2  # splits despite near-certain survival
+
+    def test_nextfailure_chunks_decrease_along_schedule(self):
+        """Later chunks carry more accumulated exposure, so the optimal
+        NextFailure schedule is non-increasing (for non-increasing or
+        flat hazards after the planning point)."""
+        for d, tau in (
+            (Weibull.from_mtbf(DAY, 0.3), 1000 * DAY),
+            (Weibull.from_mtbf(10 * DAY, 3.0), 0.0),
+            (Exponential(1 / DAY), 0.0),
+        ):
+            r = dp_next_failure(6 * HOUR, 600.0, d, u=900.0, tau=tau)
+            assert np.all(np.diff(r.chunks) <= 1e-9)
+
+
+class TestNumericalRobustness:
+    def test_dp_with_huge_mtbf_no_overflow(self):
+        d = Exponential(1e-12)
+        r = dp_next_failure(DAY, 600.0, d, u=3600.0)
+        assert np.isfinite(r.expected_work)
+        assert r.expected_work == pytest.approx(DAY, rel=1e-3)
+
+    def test_theorem1_extreme_rates(self):
+        for mtbf in (1e2, 1e10):
+            plan = expected_makespan_optimal(1 / mtbf, DAY, 600.0, 60.0, 600.0)
+            assert np.isfinite(plan.expected_makespan)
+            assert plan.expected_makespan >= DAY
+
+    def test_periodic_policy_validates(self):
+        with pytest.raises(ValueError):
+            PeriodicPolicy(0.0)

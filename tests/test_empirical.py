@@ -1,0 +1,89 @@
+"""Empirical (log-based) distribution: the paper's ratio construction."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical
+
+
+@pytest.fixture
+def durations():
+    return np.array([10.0, 20.0, 20.0, 50.0, 100.0, 400.0])
+
+
+class TestRatioConstruction:
+    def test_sf_counts(self, durations):
+        d = Empirical(durations)
+        assert d.sf(0.0) == pytest.approx(1.0)
+        assert d.sf(15.0) == pytest.approx(5 / 6)
+        assert d.sf(20.0) == pytest.approx(5 / 6)  # >= is inclusive
+        assert d.sf(21.0) == pytest.approx(3 / 6)
+        assert d.sf(401.0) == pytest.approx(0.0)
+
+    def test_psuc_is_count_ratio(self, durations):
+        d = Empirical(durations)
+        # P(X >= 50 | X >= 20) = #{>=50} / #{>=20} = 3/5
+        assert d.psuc(30.0, 20.0) == pytest.approx(3 / 5)
+
+    def test_psuc_unconditional_special_case(self, durations):
+        d = Empirical(durations)
+        assert d.psuc(100.0, 0.0) == pytest.approx(d.sf(100.0))
+
+    def test_mean(self, durations):
+        assert Empirical(durations).mean() == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0, 0.0])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -3.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Empirical(np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_bootstrap_sampling(self, durations):
+        d = Empirical(durations)
+        rng = np.random.default_rng(0)
+        xs = d.sample(rng, size=10_000)
+        assert set(np.unique(xs)).issubset(set(durations))
+        assert xs.mean() == pytest.approx(d.mean(), rel=0.1)
+
+    def test_conditional_sampling_respects_age(self, durations):
+        d = Empirical(durations)
+        rng = np.random.default_rng(1)
+        xs = d.sample_conditional(rng, 30.0, size=2000)
+        # only durations >= 30 qualify: 50, 100, 400 -> remaining 20, 70, 370
+        assert set(np.unique(xs)).issubset({20.0, 70.0, 370.0})
+
+    def test_conditional_beyond_support(self, durations):
+        d = Empirical(durations)
+        rng = np.random.default_rng(2)
+        xs = d.sample_conditional(rng, 1e9, size=5)
+        assert np.all(np.asarray(xs) == 0.0)
+
+
+def test_quantile_order_statistics(durations):
+    d = Empirical(durations)
+    assert d.quantile(0.0) == 10.0
+    assert float(np.asarray(d.quantile(0.99))) == 400.0
+
+
+def test_large_log_sf_matches_weibull_shape():
+    """An empirical distribution built from Weibull samples should
+    reproduce the Weibull survival within sampling error."""
+    from repro.distributions import Weibull
+
+    w = Weibull.from_mtbf(1000.0, 0.6)
+    rng = np.random.default_rng(3)
+    d = Empirical(w.sample(rng, size=50_000))
+    for t in (100.0, 500.0, 2000.0):
+        assert d.sf(t) == pytest.approx(float(w.sf(t)), abs=0.01)

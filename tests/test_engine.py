@@ -1,0 +1,268 @@
+"""Discrete-event engine semantics on hand-crafted failure traces.
+
+Every scenario here is worked out by hand; these tests pin down the
+engine's timing rules (chunk + checkpoint atomicity, downtime, cascading
+outages, recovery restarts, lower bound).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.policies.base import PeriodicPolicy, Policy
+from repro.simulation import simulate_job, simulate_lower_bound
+from repro.traces.generation import PlatformTraces
+
+DIST = Exponential(1.0)  # engines are trace-driven; dist is for policies only
+
+
+def make_traces(per_unit, downtime=50.0, horizon=1e9):
+    return PlatformTraces(
+        [np.asarray(t, dtype=float) for t in per_unit],
+        horizon=horizon,
+        downtime=downtime,
+    ).for_job(len(per_unit))
+
+
+class TestFailureFree:
+    def test_makespan_is_chunks_plus_checkpoints(self):
+        tr = make_traces([[]])
+        res = simulate_job(PeriodicPolicy(250.0), 1000.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(4 * (250 + 100))
+        assert res.n_failures == 0
+        assert res.n_checkpoints == 4
+        assert res.completed
+
+    def test_remainder_chunk(self):
+        tr = make_traces([[]])
+        res = simulate_job(PeriodicPolicy(300.0), 1000.0, tr, 100.0, 80.0, DIST)
+        # chunks 300, 300, 300, 100
+        assert res.makespan == pytest.approx(1000 + 4 * 100)
+        assert res.chunk_min == pytest.approx(100.0)
+        assert res.chunk_max == pytest.approx(300.0)
+
+    def test_single_chunk(self):
+        tr = make_traces([[]])
+        res = simulate_job(PeriodicPolicy(5000.0), 1000.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(1100.0)
+        assert res.n_attempts == 1
+
+
+class TestSingleFailure:
+    def test_failure_mid_chunk(self):
+        # attempt [0, 600); failure at 300; downtime 50; recovery 80;
+        # retry [430, 1030)
+        tr = make_traces([[300.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(1030.0)
+        assert res.n_failures == 1
+        assert res.n_attempts == 2
+
+    def test_failure_during_checkpoint_loses_chunk(self):
+        # chunk [0,200), checkpoint [200,300); failure at 250 discards it
+        tr = make_traces([[250.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 200.0, tr, 100.0, 80.0, DIST)
+        # resume at 250+50+80 = 380; redo [380, 680)
+        assert res.makespan == pytest.approx(680.0)
+        assert res.n_failures == 1
+
+    def test_failure_exactly_at_attempt_end_succeeds(self):
+        # attempt ends exactly when the failure strikes: checkpoint done
+        tr = make_traces([[300.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(200.0), 200.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(300.0)
+        assert res.n_failures == 0
+
+    def test_work_after_failure_preserves_checkpointed_progress(self):
+        # period 200, C=100: chunk1 [0,300) ok; chunk2 [300,600) hit at 400
+        tr = make_traces([[400.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(200.0), 400.0, tr, 100.0, 80.0, DIST)
+        # resume 400+130=530, redo chunk2 [530, 830)
+        assert res.makespan == pytest.approx(830.0)
+        assert res.n_checkpoints == 2
+
+
+class TestCascadesAndRecovery:
+    def test_cascading_failure_extends_outage(self):
+        # unit0 fails at 300 (down until 350); unit1 fails at 320 (down
+        # until 370); recovery [370, 450); retry [450, 1050)
+        tr = make_traces([[300.0], [320.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(1050.0)
+        assert res.n_failures == 2
+
+    def test_failure_during_recovery_restarts_it(self):
+        # unit0 fails at 300 -> avail 350, recovery [350, 430); unit1
+        # fails at 360 -> avail 410, recovery [410, 490); retry [490,1090)
+        tr = make_traces([[300.0], [360.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.makespan == pytest.approx(1090.0)
+        assert res.n_failures == 2
+
+    def test_own_downtime_event_skipped(self):
+        # second event of unit0 at 120 < 100 + D=50: inside its own
+        # downtime, must be ignored
+        tr = make_traces([[100.0, 120.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 300.0, tr, 100.0, 80.0, DIST)
+        # fail at 100, resume at 230, run [230, 630)
+        assert res.makespan == pytest.approx(630.0)
+        assert res.n_failures == 1
+
+    def test_job_start_waits_for_downtime(self):
+        # unit fails at 90 with D=50; job submitted at t0=100 waits
+        # until 140
+        tr = make_traces([[90.0]], downtime=50.0)
+        res = simulate_job(
+            PeriodicPolicy(500.0), 300.0, tr, 100.0, 80.0, DIST, t0=100.0
+        )
+        assert res.makespan == pytest.approx(40.0 + 400.0)
+
+
+class TestLowerBound:
+    def test_checkpoints_just_in_time(self):
+        # failures at 500 and 1300; C=100, D=50, R=80
+        tr = make_traces([[500.0, 1300.0]], downtime=50.0)
+        res = simulate_lower_bound(1000.0, tr, 100.0, 80.0)
+        # [0,400) work, ckpt [400,500), fail; resume 630; finish at 1230
+        assert res.makespan == pytest.approx(1230.0)
+        assert res.n_failures == 1
+
+    def test_no_failure_no_checkpoint(self):
+        tr = make_traces([[]])
+        res = simulate_lower_bound(1000.0, tr, 100.0, 80.0)
+        assert res.makespan == pytest.approx(1000.0)
+        assert res.n_checkpoints == 0
+
+    def test_window_shorter_than_checkpoint_yields_no_work(self):
+        # failures at 50 and 1000: first window (50) < C (100): no work
+        tr = make_traces([[50.0, 1000.0]], downtime=50.0)
+        res = simulate_lower_bound(500.0, tr, 100.0, 80.0)
+        # resume at 180; finish 180+500 = 680 (before 1000)
+        assert res.makespan == pytest.approx(680.0)
+
+    def test_lower_bound_beats_any_policy(self):
+        from repro.traces import generate_platform_traces
+
+        dist = Exponential(1 / 3600.0)
+        for seed in range(5):
+            tr = generate_platform_traces(dist, 2, 2e5, downtime=50.0, seed=seed).for_job(2)
+            lb = simulate_lower_bound(10_000.0, tr, 100.0, 80.0)
+            for period in (500.0, 2000.0, 10_000.0):
+                res = simulate_job(
+                    PeriodicPolicy(period), 10_000.0, tr, 100.0, 80.0, dist
+                )
+                assert lb.makespan <= res.makespan + 1e-6
+
+
+class AgeRecorder(Policy):
+    name = "AgeRecorder"
+
+    def __init__(self, period):
+        self.period = period
+        self.snapshots = []
+
+    def next_chunk(self, remaining, ctx):
+        self.snapshots.append((ctx.time, ctx.ages.copy()))
+        return min(self.period, remaining)
+
+
+class TestContext:
+    def test_ages_reflect_failures(self):
+        tr = make_traces([[300.0], []], downtime=50.0)
+        pol = AgeRecorder(500.0)
+        simulate_job(pol, 500.0, tr, 100.0, 80.0, DIST)
+        # first decision at t=0: both ages 0
+        t_first, ages_first = pol.snapshots[0]
+        assert ages_first[0] == 0.0 and ages_first[1] == 0.0
+        # decision after recovery (t=430): unit0 age=80 (since 350),
+        # unit1 age=430
+        t_second, ages_second = pol.snapshots[1]
+        assert t_second == pytest.approx(430.0)
+        assert ages_second[0] == pytest.approx(80.0)
+        assert ages_second[1] == pytest.approx(430.0)
+
+    def test_nonpositive_chunk_rejected(self):
+        class BadPolicy(Policy):
+            name = "Bad"
+
+            def next_chunk(self, remaining, ctx):
+                return 0.0
+
+        tr = make_traces([[]])
+        with pytest.raises(ValueError):
+            simulate_job(BadPolicy(), 100.0, tr, 10.0, 10.0, DIST)
+
+    def test_max_makespan_abort(self):
+        tr = make_traces([np.arange(100.0, 1e6, 150.0)], downtime=50.0)
+        res = simulate_job(
+            PeriodicPolicy(1000.0),
+            10_000.0,
+            tr,
+            100.0,
+            80.0,
+            DIST,
+            max_makespan=5_000.0,
+        )
+        assert not res.completed
+        assert math.isinf(res.makespan)
+
+
+class TestResultAccounting:
+    def test_overhead_and_waste(self):
+        tr = make_traces([[300.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.overhead == pytest.approx(res.makespan - 500.0)
+        assert 0 < res.waste_fraction < 1
+
+    def test_checkpoint_count_excludes_failed_attempts(self):
+        tr = make_traces([[300.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.n_checkpoints == 1
+        assert res.n_attempts == 2
+
+    def test_waste_breakdown_values(self):
+        # fail at 300 during [0, 600): 300 lost; outage 300->430 (130)
+        tr = make_traces([[300.0]], downtime=50.0)
+        res = simulate_job(PeriodicPolicy(500.0), 500.0, tr, 100.0, 80.0, DIST)
+        assert res.time_lost == pytest.approx(300.0)
+        assert res.time_outage == pytest.approx(130.0)
+        assert res.time_waiting == 0.0
+
+    def test_exact_accounting_identity(self):
+        """makespan = work + C*checkpoints + lost + outage + waiting."""
+        from repro.distributions import Weibull
+        from repro.traces import generate_platform_traces
+
+        dist = Weibull.from_mtbf(3600.0, 0.7)
+        for seed in range(6):
+            tr = generate_platform_traces(dist, 3, 3e5, downtime=50.0, seed=seed).for_job(3)
+            res = simulate_job(
+                PeriodicPolicy(1500.0), 20_000.0, tr, 100.0, 80.0, dist
+            )
+            reconstructed = (
+                res.work_time
+                + res.n_checkpoints * 100.0
+                + res.time_lost
+                + res.time_outage
+                + res.time_waiting
+            )
+            assert res.makespan == pytest.approx(reconstructed, rel=1e-9)
+
+    def test_lower_bound_accounting_identity(self):
+        from repro.distributions import Weibull
+        from repro.traces import generate_platform_traces
+
+        dist = Weibull.from_mtbf(1800.0, 0.7)
+        for seed in range(6):
+            tr = generate_platform_traces(dist, 2, 3e5, downtime=50.0, seed=seed).for_job(2)
+            res = simulate_lower_bound(10_000.0, tr, 100.0, 80.0)
+            reconstructed = (
+                res.work_time
+                + res.n_checkpoints * 100.0
+                + res.time_lost
+                + res.time_outage
+                + res.time_waiting
+            )
+            assert res.makespan == pytest.approx(reconstructed, rel=1e-9)

@@ -1,0 +1,47 @@
+"""Optimal-enrollment extension driver."""
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.enrollment import run_optimal_enrollment
+
+
+@pytest.fixture(scope="module")
+def reliable():
+    return run_optimal_enrollment(scale=SMOKE, dist_kind="exponential")
+
+
+class TestStructure:
+    def test_profiles_and_sweep(self, reliable):
+        assert len(reliable.p_values) >= 3
+        for vals in reliable.makespans.values():
+            assert len(vals) == len(reliable.p_values)
+            assert all(v > 0 for v in vals)
+
+    def test_best_p_in_sweep(self, reliable):
+        for p in reliable.best_p.values():
+            assert p in reliable.p_values
+
+
+class TestShape:
+    def test_embarrassing_prefers_full_platform_when_reliable(self, reliable):
+        assert reliable.best_p["W/p"] == reliable.p_values[-1]
+        assert not reliable.speedup_exhausted("W/p")
+
+    def test_amdahl_heavy_profile_saturates(self, reliable):
+        """gamma=1e-4 Amdahl: the sequential term dominates long before
+        the whole platform; extra processors buy almost nothing."""
+        vals = reliable.makespans["W/p + 1e-4 W"]
+        assert vals[-1] > 0.5 * vals[-3]  # nearly flat at the top end
+
+    def test_unreliable_platform_moves_optimum_inward(self):
+        """With a 30x less reliable platform the communication-bound
+        kernel profile should stop scaling before the full machine."""
+        res = run_optimal_enrollment(
+            scale=SMOKE,
+            dist_kind="weibull",
+            mtbf_factor=1.0 / 30.0,
+            overhead="constant",
+        )
+        heavy = "W/p + 1e-4 W"
+        assert res.best_p[heavy] < res.p_values[-1]

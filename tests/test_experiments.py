@@ -1,0 +1,118 @@
+"""Experiment drivers at SMOKE scale: structure and basic sanity.
+
+These are plumbing tests (fast, few traces); the paper-shape assertions
+with enough statistics live in test_integration.py and the benchmarks.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.logbased import run_logbased_experiment
+from repro.experiments.model_combos import run_model_combo_experiment
+from repro.experiments.period_sweep import run_period_sweep
+from repro.experiments.profiles import run_profile_experiment
+from repro.experiments.scaling import run_scaling_experiment, run_table4
+from repro.experiments.shape_sweep import run_shape_sweep
+from repro.experiments.single_proc import run_single_proc_experiment
+from repro.units import DAY, HOUR
+
+TINY = dataclasses.replace(SMOKE, n_traces=3, n_p_points=2)
+
+
+class TestSingleProc:
+    def test_exponential_structure(self):
+        r = run_single_proc_experiment("exponential", mtbfs=(HOUR,), scale=TINY)
+        stats = r.stats[HOUR]
+        for name in (
+            "Young",
+            "DalyLow",
+            "DalyHigh",
+            "OptExp",
+            "Bouguerra",
+            "Liu",
+            "DPNextFailure",
+            "DPMakespan",
+            "LowerBound",
+            "PeriodLB",
+        ):
+            assert name in stats
+        assert stats["LowerBound"].avg < 1.0
+        for name, s in stats.items():
+            if name != "LowerBound" and s.n_valid:
+                assert s.avg >= 1.0 - 1e-9
+
+    def test_weibull_runs(self):
+        r = run_single_proc_experiment("weibull", mtbfs=(HOUR,), scale=TINY)
+        assert r.dist_kind == "weibull"
+        assert HOUR in r.stats
+
+
+class TestScaling:
+    def test_petascale_weibull(self):
+        r = run_scaling_experiment("peta", "weibull", scale=TINY)
+        assert len(r.p_values) == 2
+        assert r.p_values[-1] == TINY.ptotal_peta
+        series = r.series()
+        assert "DPNextFailure" in series
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_exponential_includes_dpmakespan(self):
+        r = run_scaling_experiment("peta", "exponential", scale=TINY)
+        assert "DPMakespan" in r.series()
+
+    def test_weibull_excludes_dpmakespan(self):
+        r = run_scaling_experiment("peta", "weibull", scale=TINY)
+        assert "DPMakespan" not in r.series()
+
+    def test_table4(self):
+        r = run_table4(scale=TINY)
+        assert "DPNextFailure" in r.stats
+        assert r.dp_failures_avg > 0
+        assert r.dp_failures_max >= r.dp_failures_avg
+
+
+class TestSweeps:
+    def test_shape_sweep(self):
+        r = run_shape_sweep(shapes=(0.7, 1.0), scale=TINY)
+        assert set(r.shapes) == {0.7, 1.0}
+        assert "DPNextFailure" in r.series()
+
+    def test_period_sweep(self):
+        r = run_period_sweep(
+            "peta", "exponential", log2_factors=(-2, 0, 2), scale=TINY
+        )
+        assert set(r.sweep) == {-2, 0, 2}
+        for s in r.sweep.values():
+            assert s.avg >= 1.0 - 1e-9
+        assert "Young" in r.heuristics
+
+    def test_logbased(self):
+        r = run_logbased_experiment(cluster=19, scale=TINY)
+        assert len(r.p_values) == 2
+        stats = r.stats[r.p_values[-1]]
+        assert "DPNextFailure" in stats
+        assert "Bouguerra" not in stats  # not adaptable to logs
+
+    def test_model_combos(self):
+        combos = (("embarrassing", "constant"), ("amdahl", "proportional"))
+        r = run_model_combo_experiment(
+            "peta", "weibull", combos=combos, scale=TINY
+        )
+        assert set(r.stats) == set(combos)
+        ranked = r.ranking(combos[0])
+        assert len(ranked) >= 5
+
+    def test_profiles(self):
+        r = run_profile_experiment("exponential", policy="OptExp", scale=TINY)
+        assert len(r.p_values) == 2
+        for series in r.makespan_days.values():
+            assert all(v > 0 for v in series)
+
+    def test_profiles_more_processors_faster_embarrassing(self):
+        r = run_profile_experiment("exponential", policy="OptExp", scale=TINY)
+        emb = r.makespan_days["W/p"]
+        assert emb[-1] < emb[0]

@@ -1,0 +1,76 @@
+"""Exponential distribution: memorylessness and Lemma 1 closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.units import DAY, HOUR
+
+
+class TestConstruction:
+    def test_from_mtbf(self):
+        d = Exponential.from_mtbf(DAY)
+        assert d.lam == pytest.approx(1.0 / DAY)
+        assert d.mean() == pytest.approx(DAY)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+
+class TestMemorylessness:
+    def test_psuc_independent_of_age(self):
+        d = Exponential(1.0 / DAY)
+        x = 3 * HOUR
+        p0 = float(d.psuc(x, 0.0))
+        for tau in (HOUR, DAY, 10 * DAY):
+            assert float(d.psuc(x, tau)) == pytest.approx(p0, rel=1e-12)
+
+    def test_hazard_constant(self):
+        d = Exponential(2.5e-5)
+        h = d.hazard(np.array([0.0, 100.0, 1e6]))
+        assert np.allclose(h, 2.5e-5)
+
+    def test_conditional_sampling_same_law(self):
+        d = Exponential(1.0 / HOUR)
+        rng = np.random.default_rng(0)
+        fresh = d.sample(rng, size=30_000)
+        aged = d.sample_conditional(rng, 5 * HOUR, size=30_000)
+        assert np.mean(aged) == pytest.approx(np.mean(fresh), rel=0.05)
+
+
+class TestLemma1:
+    def test_tlost_closed_form_matches_numeric(self):
+        d = Exponential(1.0 / DAY)
+        x = 5 * HOUR
+        closed = d.expected_tlost(x)
+        # generic Simpson implementation from the base class
+        from repro.distributions.base import FailureDistribution
+
+        numeric = FailureDistribution.expected_tlost(d, x, 0.0)
+        assert closed == pytest.approx(numeric, rel=1e-5)
+
+    def test_tlost_small_window_limit(self):
+        d = Exponential(1e-9)
+        # lam*x -> 0: expected loss tends to x/2 (uniform failure point)
+        assert d.expected_tlost(100.0) == pytest.approx(50.0, rel=1e-3)
+
+    def test_tlost_below_half_window(self):
+        # memoryless => conditional failure time within the window is
+        # biased early, so E[Tlost] < x/2
+        d = Exponential(1.0 / HOUR)
+        x = 3 * HOUR
+        assert d.expected_tlost(x) < x / 2
+
+    def test_quantile_closed_form(self):
+        d = Exponential(1.0 / DAY)
+        assert d.quantile(0.5) == pytest.approx(math.log(2) * DAY, rel=1e-12)
+
+    def test_logsf_linear(self):
+        d = Exponential(3e-4)
+        ts = np.array([0.0, 1e3, 1e5])
+        assert np.allclose(d.logsf(ts), -3e-4 * ts)

@@ -1,0 +1,104 @@
+"""Extension experiments: energy model, ablation drivers, scales."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstantOverhead, Platform
+from repro.distributions import Exponential, Weibull
+from repro.experiments import MEDIUM, PAPER, SMALL, SMOKE
+from repro.experiments.ablations import (
+    quantum_sensitivity,
+    state_approx_precision,
+    theory_vs_simulation,
+    truncation_study,
+)
+from repro.experiments.energy import EnergyModel, run_energy_tradeoff
+from repro.units import DAY, HOUR
+
+
+class TestScales:
+    def test_ordering(self):
+        assert SMOKE.n_traces < SMALL.n_traces < MEDIUM.n_traces < PAPER.n_traces
+        assert PAPER.ptotal_peta == 45_208
+        assert PAPER.ptotal_exa == 2**20
+        assert PAPER.n_traces == 600
+
+    def test_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SMALL.n_traces = 1
+
+
+class TestEnergyModel:
+    def test_energy_formula(self):
+        m = EnergyModel(p_static=100.0, p_dynamic=50.0, p_io=1000.0)
+        e = m.energy(p=10, makespan=100.0, compute=80.0, checkpoint_time=5.0)
+        assert e == pytest.approx(10 * 100 * 100 + 10 * 50 * 80 + 1000 * 5)
+
+    def test_tradeoff_curve(self):
+        dist = Weibull.from_mtbf(12 * HOUR, 0.7)
+        platform = Platform(
+            p=8, dist=dist, downtime=60.0, overhead=ConstantOverhead(600.0)
+        )
+        points = run_energy_tradeoff(
+            platform,
+            work_time=DAY,
+            horizon=400 * DAY,
+            n_traces=4,
+            period_factors=(0.5, 1.0, 2.0),
+        )
+        assert [p.period_factor for p in points] == [0.5, 1.0, 2.0]
+        for p in points:
+            assert p.mean_makespan > DAY
+            assert p.mean_energy_joules > 0
+
+    def test_io_heavy_energy_prefers_longer_periods(self):
+        """With checkpoint I/O power dominating, the energy-minimal
+        period is at least the makespan-minimal one."""
+        dist = Exponential.from_mtbf(12 * HOUR)
+        platform = Platform(
+            p=4, dist=dist, downtime=60.0, overhead=ConstantOverhead(600.0)
+        )
+        points = run_energy_tradeoff(
+            platform,
+            work_time=DAY,
+            horizon=400 * DAY,
+            n_traces=6,
+            period_factors=(0.25, 0.5, 1.0, 2.0, 4.0),
+            model=EnergyModel(p_static=10.0, p_dynamic=5.0, p_io=1e6),
+        )
+        span_best = min(points, key=lambda p: p.mean_makespan).period_factor
+        energy_best = min(points, key=lambda p: p.mean_energy_joules).period_factor
+        assert energy_best >= span_best
+
+
+class TestAblationDrivers:
+    def test_state_approx_small(self):
+        r = state_approx_precision(p=512, exponents=range(0, 3))
+        assert r.relative_errors.shape == (3,)
+        assert np.all(r.relative_errors >= 0)
+        assert r.relative_errors[0] < 0.01
+
+    def test_quantum_sensitivity_improves(self):
+        from repro.core.state import PlatformState
+
+        dist = Weibull.from_mtbf(DAY, 0.7)
+        state = PlatformState([HOUR], dist)
+        r = quantum_sensitivity(6 * HOUR, 600.0, state, grids=(6, 24, 96))
+        assert r[96] >= r[6] * 0.999
+
+    def test_truncation_study_monotone(self):
+        from repro.core.state import PlatformState
+
+        dist = Weibull.from_mtbf(50 * DAY, 0.7)
+        state = PlatformState(np.full(32, DAY), dist)
+        mtbf = 50 * DAY / 32
+        r = truncation_study(100 * DAY, 600.0, state, mtbf, factors=(0.5, 2.0))
+        assert r[0.5] > r[2.0]
+
+    def test_theory_vs_simulation_close(self):
+        theory, sim, se = theory_vs_simulation(
+            mtbf=6 * HOUR, work=2 * DAY, n_traces=60
+        )
+        assert abs(sim - theory) < 4 * se + 0.01 * theory

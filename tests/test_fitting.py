@@ -1,0 +1,55 @@
+"""MLE fitting, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Weibull, fit_weibull_mle
+from repro.distributions.fitting import fit_exponential_mle
+
+
+class TestExponentialMLE:
+    def test_recovers_rate(self):
+        rng = np.random.default_rng(0)
+        lam = 1 / 500.0
+        xs = Exponential(lam).sample(rng, size=50_000)
+        assert fit_exponential_mle(xs) == pytest.approx(lam, rel=0.03)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_exponential_mle([])
+        with pytest.raises(ValueError):
+            fit_exponential_mle([1.0, -2.0])
+
+
+class TestWeibullMLE:
+    @pytest.mark.parametrize("k_true", [0.4, 0.7, 1.0, 2.5])
+    def test_recovers_shape_and_scale(self, k_true):
+        rng = np.random.default_rng(42)
+        d = Weibull(lam=1000.0, k=k_true)
+        xs = d.sample(rng, size=30_000)
+        lam, k = fit_weibull_mle(xs)
+        assert k == pytest.approx(k_true, rel=0.05)
+        assert lam == pytest.approx(1000.0, rel=0.07)
+
+    def test_rejects_insufficient_data(self):
+        with pytest.raises(ValueError):
+            fit_weibull_mle([1.0])
+        with pytest.raises(ValueError):
+            fit_weibull_mle([1.0, 0.0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.floats(min_value=0.3, max_value=3.0),
+        lam=st.floats(min_value=1.0, max_value=1e6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_fit_is_stable(self, k, lam, seed):
+        """On any Weibull sample the fit converges to positive params in
+        the right ballpark."""
+        rng = np.random.default_rng(seed)
+        xs = Weibull(lam, k).sample(rng, size=4000)
+        lam_hat, k_hat = fit_weibull_mle(xs)
+        assert lam_hat > 0 and k_hat > 0
+        assert k_hat == pytest.approx(k, rel=0.35)

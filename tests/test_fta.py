@@ -1,0 +1,88 @@
+"""FTA-style log persistence roundtrip."""
+
+import numpy as np
+import pytest
+
+from repro.traces.fta import log_to_intervals, read_fta, write_fta
+from repro.traces.logs import SyntheticLog, synthesize_lanl_like_log
+
+
+@pytest.fixture
+def small_log():
+    return SyntheticLog(
+        durations=np.array([100.0, 200.0, 50.0, 300.0, 75.0]),
+        n_nodes=2,
+        procs_per_node=4,
+        name="mini",
+    )
+
+
+class TestIntervals:
+    def test_round_robin_layout(self, small_log):
+        rows = log_to_intervals(small_log)
+        assert len(rows) == 5
+        # node 0 gets durations 0, 2, 4 stacked back-to-back
+        node0 = [(s, e) for n, s, e in rows if n == 0]
+        assert node0[0] == (0.0, 100.0)
+        assert node0[1] == (100.0, 150.0)
+        assert node0[2] == (150.0, 225.0)
+
+    def test_lengths_preserved(self, small_log):
+        rows = log_to_intervals(small_log)
+        lengths = sorted(e - s for _, s, e in rows)
+        assert np.allclose(lengths, sorted(small_log.durations))
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, tmp_path, small_log):
+        path = tmp_path / "mini.fta"
+        write_fta(small_log, path)
+        loaded = read_fta(path)
+        assert loaded.name == "mini"
+        assert loaded.n_nodes == 2
+        assert loaded.procs_per_node == 4
+        assert np.allclose(sorted(loaded.durations), sorted(small_log.durations))
+
+    def test_roundtrip_synthetic_lanl(self, tmp_path):
+        log = synthesize_lanl_like_log(cluster=19, years=0.3, seed=1)
+        path = tmp_path / "lanl.fta"
+        write_fta(log, path)
+        loaded = read_fta(path)
+        assert loaded.durations.size == log.durations.size
+        assert np.allclose(
+            np.sort(loaded.durations), np.sort(log.durations), rtol=1e-4
+        )
+
+    def test_empirical_from_reloaded_log(self, tmp_path, small_log):
+        from repro.traces.logs import empirical_from_log
+
+        path = tmp_path / "mini.fta"
+        write_fta(small_log, path)
+        d = empirical_from_log(read_fta(path))
+        assert d.sf(100.0) == pytest.approx(3 / 5)
+
+
+class TestValidation:
+    def test_rejects_wrong_header(self, tmp_path):
+        p = tmp_path / "bad.fta"
+        p.write_text("not an fta file\n")
+        with pytest.raises(ValueError):
+            read_fta(p)
+
+    def test_rejects_malformed_row(self, tmp_path):
+        p = tmp_path / "bad.fta"
+        p.write_text("# repro-fta v1\n# nodes: 1\n0\t1.0\n")
+        with pytest.raises(ValueError):
+            read_fta(p)
+
+    def test_rejects_negative_interval(self, tmp_path):
+        p = tmp_path / "bad.fta"
+        p.write_text("# repro-fta v1\n# nodes: 1\n0\t5.0\t1.0\n")
+        with pytest.raises(ValueError):
+            read_fta(p)
+
+    def test_rejects_empty(self, tmp_path):
+        p = tmp_path / "bad.fta"
+        p.write_text("# repro-fta v1\n# nodes: 1\n")
+        with pytest.raises(ValueError):
+            read_fta(p)

@@ -1,0 +1,56 @@
+"""Lambert W implementation vs the defining identity and scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.core.lambert import lambert_w
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize(
+        "z",
+        [-1 / math.e + 1e-12, -0.3, -1e-6, 0.0, 1e-6, 0.5, 1.0, 10.0, 1e6],
+    )
+    def test_matches_scipy(self, z):
+        assert lambert_w(z) == pytest.approx(
+            float(scipy_lambertw(z).real), rel=1e-9, abs=1e-9
+        )
+
+    def test_array_input(self):
+        zs = np.array([-0.2, 0.1, 2.0])
+        ours = lambert_w(zs)
+        ref = scipy_lambertw(zs).real
+        assert np.allclose(ours, ref, rtol=1e-10)
+
+
+class TestDefiningIdentity:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        z=st.floats(
+            min_value=-1 / math.e + 1e-9, max_value=1e8, allow_nan=False
+        )
+    )
+    def test_w_exp_w_equals_z(self, z):
+        w = lambert_w(z)
+        assert w * math.exp(w) == pytest.approx(z, rel=1e-8, abs=1e-10)
+
+    def test_branch_point(self):
+        assert lambert_w(-1 / math.e) == pytest.approx(-1.0, abs=1e-5)
+
+    def test_below_branch_point_raises(self):
+        with pytest.raises(ValueError):
+            lambert_w(-1.0)
+
+
+def test_theorem1_argument_range():
+    """Theorem 1 uses z = -e^{-lam C - 1} in (-1/e, 0): the principal
+    branch value lies in (-1, 0)."""
+    for lam_c in (1e-6, 1e-3, 0.1, 5.0):
+        z = -math.exp(-lam_c - 1.0)
+        w = lambert_w(z)
+        assert -1.0 < w < 0.0

@@ -1,0 +1,71 @@
+"""Synthetic LANL-like logs and the empirical distribution built on them."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import fit_weibull_mle
+from repro.traces.logs import empirical_from_log, synthesize_lanl_like_log
+from repro.units import HOUR, YEAR
+
+
+@pytest.fixture(scope="module")
+def log19():
+    return synthesize_lanl_like_log(cluster=19, years=2.0, seed=0)
+
+
+class TestSynthesis:
+    def test_metadata(self, log19):
+        assert log19.procs_per_node == 4
+        assert log19.n_nodes >= 1000
+        assert log19.name == "lanl-like-19"
+
+    def test_durations_positive_with_floor(self, log19):
+        assert np.all(log19.durations >= 30.0)
+
+    def test_enough_events_per_node(self, log19):
+        # each node accumulates >= 2 years of uptime
+        assert log19.durations.sum() >= log19.n_nodes * 2.0 * YEAR
+
+    def test_weibull_shape_in_lanl_range(self):
+        """The bulk should fit a Weibull shape in the range Schroeder &
+        Gibson report (0.33-0.49), modulo the short-interval mixture."""
+        log = synthesize_lanl_like_log(cluster=19, years=4.0, seed=3)
+        _, k = fit_weibull_mle(log.durations)
+        assert 0.25 < k < 0.6
+
+    def test_clusters_differ(self):
+        a = synthesize_lanl_like_log(18, years=1.0, seed=0)
+        b = synthesize_lanl_like_log(19, years=1.0, seed=0)
+        assert a.durations.size != b.durations.size or not np.array_equal(
+            a.durations[:100], b.durations[:100]
+        )
+
+    def test_reproducible(self):
+        a = synthesize_lanl_like_log(19, years=1.0, seed=5)
+        b = synthesize_lanl_like_log(19, years=1.0, seed=5)
+        assert np.array_equal(a.durations, b.durations)
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_lanl_like_log(cluster=7)
+
+
+class TestEmpiricalFromLog:
+    def test_distribution_mean_matches_log(self, log19):
+        d = empirical_from_log(log19)
+        assert d.mean() == pytest.approx(float(np.mean(log19.durations)))
+
+    def test_decreasing_hazard_signature(self, log19):
+        """Heavy-tailed availability: conditional survival of a fixed
+        window must improve with age (the property DPNextFailure exploits
+        in Figure 7)."""
+        d = empirical_from_log(log19)
+        x = 6 * HOUR
+        p_young = float(d.psuc(x, 0.0))
+        p_old = float(d.psuc(x, 30 * 24 * HOUR))
+        assert p_old > p_young
+
+    def test_short_interval_mass(self, log19):
+        """The repeat-failure mixture leaves visible mass below 6 hours."""
+        frac_short = float(np.mean(log19.durations < 6 * HOUR))
+        assert 0.05 < frac_short < 0.6

@@ -1,0 +1,63 @@
+"""MinOfIID: the all-rejuvenation platform failure law."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.distributions.minimum import MinOfIID
+from repro.units import DAY
+
+
+class TestAgainstClosedForms:
+    def test_exponential_min_is_scaled_exponential(self):
+        base = Exponential(1.0 / DAY)
+        m = MinOfIID(base, 10)
+        ref = Exponential(10.0 / DAY)
+        ts = np.geomspace(10.0, DAY, 20)
+        assert np.allclose(m.sf(ts), ref.sf(ts), rtol=1e-12)
+        assert m.mean() == pytest.approx(DAY / 10, rel=1e-6)
+
+    def test_weibull_min_is_scaled_weibull(self):
+        base = Weibull.from_mtbf(DAY, 0.7)
+        p = 16
+        m = MinOfIID(base, p)
+        ref = base.rejuvenated_platform(p)
+        ts = np.geomspace(1.0, DAY, 20)
+        assert np.allclose(m.sf(ts), ref.sf(ts), rtol=1e-10)
+        assert m.mean() == pytest.approx(ref.mean(), rel=1e-3)
+
+
+class TestProperties:
+    def test_quantile_roundtrip(self):
+        m = MinOfIID(Weibull.from_mtbf(DAY, 0.7), 8)
+        for q in (0.1, 0.5, 0.9):
+            assert m.cdf(m.quantile(q)) == pytest.approx(q, rel=1e-8)
+
+    def test_hazard_scales_linearly(self):
+        base = Weibull.from_mtbf(DAY, 0.7)
+        m = MinOfIID(base, 5)
+        ts = np.geomspace(60.0, DAY, 10)
+        assert np.allclose(m.hazard(ts), 5 * base.hazard(ts))
+
+    def test_sampling_mean(self):
+        m = MinOfIID(Weibull.from_mtbf(DAY, 0.7), 4)
+        rng = np.random.default_rng(0)
+        xs = m.sample(rng, size=20_000)
+        assert np.mean(xs) == pytest.approx(m.mean(), rel=0.05)
+
+    def test_pdf_integrates_to_one(self):
+        m = MinOfIID(Weibull.from_mtbf(DAY, 1.3), 6)
+        ts = np.linspace(0.0, float(m.quantile(1 - 1e-8)), 20_001)
+        from scipy.integrate import simpson
+
+        assert simpson(m.pdf(ts), x=ts) == pytest.approx(1.0, abs=1e-4)
+
+    def test_p_one_is_identity(self):
+        base = Weibull.from_mtbf(DAY, 0.7)
+        m = MinOfIID(base, 1)
+        ts = np.geomspace(1.0, DAY, 10)
+        assert np.allclose(m.sf(ts), base.sf(ts))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            MinOfIID(Exponential(1.0), 0)

@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the engine and core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp_nextfailure import dp_next_failure, expected_work_of_schedule
+from repro.core.state import PlatformState
+from repro.distributions import Exponential, Weibull
+from repro.policies.base import PeriodicPolicy
+from repro.simulation import simulate_job, simulate_lower_bound
+from repro.traces.generation import generate_platform_traces
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    period=st.floats(min_value=100.0, max_value=20_000.0),
+    mtbf=st.floats(min_value=1800.0, max_value=200_000.0),
+    k=st.floats(min_value=0.4, max_value=1.6),
+)
+def test_engine_invariants_hold_on_random_traces(seed, period, mtbf, k):
+    """On arbitrary Weibull traces: the job completes, the makespan is at
+    least the failure-free time plus checkpoints, and the omniscient
+    lower bound is never beaten."""
+    dist = Weibull.from_mtbf(mtbf, k)
+    work, c, r, d = 20_000.0, 300.0, 200.0, 50.0
+    horizon = 100 * work
+    tr = generate_platform_traces(dist, 2, horizon, downtime=d, seed=seed).for_job(2)
+    res = simulate_job(PeriodicPolicy(period), work, tr, c, r, dist)
+    assert res.completed
+    n_chunks = int(np.ceil(work / period))
+    assert res.makespan >= work + n_chunks * c - 1e-6
+    lb = simulate_lower_bound(work, tr, c, r)
+    assert lb.makespan <= res.makespan + 1e-6
+    assert lb.n_failures <= res.n_failures
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    period=st.floats(min_value=100.0, max_value=20_000.0),
+)
+def test_makespan_monotone_in_work(seed, period):
+    """More work can never finish sooner on the same trace."""
+    dist = Exponential(1 / 30_000.0)
+    tr = generate_platform_traces(dist, 1, 5e6, downtime=50.0, seed=seed).for_job(1)
+    small = simulate_job(PeriodicPolicy(period), 10_000.0, tr, 300.0, 200.0, dist)
+    large = simulate_job(PeriodicPolicy(period), 20_000.0, tr, 300.0, 200.0, dist)
+    assert large.makespan >= small.makespan - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mtbf=st.floats(min_value=3600.0, max_value=400_000.0),
+    k=st.floats(min_value=0.4, max_value=1.8),
+    tau=st.floats(min_value=0.0, max_value=200_000.0),
+    n=st.integers(min_value=2, max_value=12),
+)
+def test_dp_schedule_beats_uniform_splits(mtbf, k, tau, n):
+    """The DP schedule's expected work dominates every uniform split of
+    the same work on the same grid."""
+    dist = Weibull.from_mtbf(mtbf, k)
+    work, c = 18_000.0, 600.0
+    u = work / 30
+    state = PlatformState([tau], dist)
+    res = dp_next_failure(work, c, dist, u=u, tau=tau)
+    for parts in {1, 2, 3, 5, 6, 10, 15, 30} & set(range(1, n + 20)):
+        uniform = [work / parts] * parts
+        # only grid-feasible splits are a fair comparison
+        if abs((work / parts) / u - round((work / parts) / u)) > 1e-9:
+            continue
+        assert res.expected_work >= expected_work_of_schedule(
+            uniform, c, state
+        ) * (1 - 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_units=st.integers(min_value=1, max_value=6),
+)
+def test_failure_counts_consistent(seed, n_units):
+    """Every failure the engine counts exists in the trace window."""
+    dist = Exponential(1 / 5_000.0)
+    tr = generate_platform_traces(dist, n_units, 4e5, downtime=50.0, seed=seed).for_job(
+        n_units
+    )
+    res = simulate_job(PeriodicPolicy(2_000.0), 30_000.0, tr, 300.0, 200.0, dist)
+    in_window = int(np.sum(tr.times <= res.makespan + 1.0))
+    assert res.n_failures <= in_window
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_lower_bound_optimal_vs_oracle_periods(seed):
+    """LowerBound dominates even the best period chosen in hindsight."""
+    dist = Weibull.from_mtbf(20_000.0, 0.7)
+    tr = generate_platform_traces(dist, 1, 5e6, downtime=50.0, seed=seed).for_job(1)
+    lb = simulate_lower_bound(50_000.0, tr, 300.0, 200.0)
+    best = min(
+        simulate_job(PeriodicPolicy(p), 50_000.0, tr, 300.0, 200.0, dist).makespan
+        for p in (1_000.0, 3_000.0, 10_000.0, 50_000.0)
+    )
+    assert lb.makespan <= best + 1e-6

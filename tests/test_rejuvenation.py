@@ -1,0 +1,104 @@
+"""Rejuvenation analytics (Figure 1 and Section 3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.rejuvenation import (
+    estimate_platform_mtbf_mc,
+    platform_mtbf_all_rejuvenation,
+    platform_mtbf_single_rejuvenation,
+)
+from repro.distributions import Exponential, Weibull
+from repro.experiments.rejuvenation_fig import run_rejuvenation_figure
+from repro.units import DAY, MINUTE, YEAR
+
+
+class TestClosedForms:
+    def test_single_rejuvenation_rate(self):
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        assert platform_mtbf_single_rejuvenation(d, 45_208, MINUTE) == pytest.approx(
+            (125 * YEAR + MINUTE) / 45_208
+        )
+
+    def test_all_rejuvenation_weibull_closed_form(self):
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        p = 1024
+        expected = MINUTE + d.mean() / p ** (1 / 0.7)
+        assert platform_mtbf_all_rejuvenation(d, p, MINUTE) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_exponential_rejuvenation_equivalent_rates(self):
+        """For k=1 the min-law mean is exactly mu/p: the only difference
+        between the options is the downtime accounting."""
+        d = Exponential.from_mtbf(125 * YEAR)
+        p = 512
+        with_rej = platform_mtbf_all_rejuvenation(d, p, MINUTE)
+        without = platform_mtbf_single_rejuvenation(d, p, MINUTE)
+        assert with_rej == pytest.approx(MINUTE + d.mean() / p, rel=1e-6)
+        assert with_rej > without  # D is paid once per platform failure
+
+    def test_k_below_one_rejuvenation_hurts(self):
+        """The paper's key observation: for k<1 and large p,
+        all-rejuvenation yields a much *smaller* platform MTBF."""
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        for p in (2**10, 2**14, 2**18):
+            assert platform_mtbf_all_rejuvenation(
+                d, p, MINUTE
+            ) < platform_mtbf_single_rejuvenation(d, p, MINUTE)
+
+    def test_gap_grows_with_p(self):
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        ratios = []
+        for p in (2**6, 2**10, 2**14):
+            ratios.append(
+                platform_mtbf_single_rejuvenation(d, p, MINUTE)
+                / platform_mtbf_all_rejuvenation(d, p, MINUTE)
+            )
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestMonteCarlo:
+    def test_single_rejuvenation_estimate(self):
+        d = Weibull.from_mtbf(30 * DAY, 0.7)
+        p = 32
+        est = estimate_platform_mtbf_mc(d, p, 60.0, horizon=3000 * DAY, seed=0)
+        assert est == pytest.approx(
+            platform_mtbf_single_rejuvenation(d, p, 60.0), rel=0.1
+        )
+
+    def test_all_rejuvenation_estimate(self):
+        d = Weibull.from_mtbf(30 * DAY, 0.7)
+        p = 32
+        est = estimate_platform_mtbf_mc(
+            d, p, 60.0, horizon=3000 * DAY, seed=1, rejuvenate_all=True
+        )
+        assert est == pytest.approx(
+            platform_mtbf_all_rejuvenation(d, p, 60.0), rel=0.15
+        )
+
+
+class TestFigure1:
+    def test_series_shape(self):
+        fig = run_rejuvenation_figure()
+        n = len(fig.p_exponents)
+        assert len(fig.log2_mtbf_with_rejuvenation) == n
+        assert len(fig.log2_mtbf_without_rejuvenation) == n
+
+    def test_without_rejuvenation_line_is_straight(self):
+        """log2 MTBF without rejuvenation drops by exactly 1 per doubling
+        (slope -1 vs log2 p) — the straight line in Figure 1."""
+        fig = run_rejuvenation_figure(p_exponents=(4, 6, 8, 10))
+        diffs = np.diff(fig.log2_mtbf_without_rejuvenation)
+        assert np.allclose(diffs, -2.0, atol=1e-6)  # exponent step is 2
+
+    def test_with_rejuvenation_drops_faster(self):
+        fig = run_rejuvenation_figure(p_exponents=(4, 10, 16))
+        d_with = fig.log2_mtbf_with_rejuvenation[0] - fig.log2_mtbf_with_rejuvenation[-1]
+        d_without = (
+            fig.log2_mtbf_without_rejuvenation[0]
+            - fig.log2_mtbf_without_rejuvenation[-1]
+        )
+        assert d_with > d_without

@@ -1,0 +1,169 @@
+"""Scenario runner + degradation metric + table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import degradation_from_best, format_degradation_table, format_series
+from repro.analysis.degradation import DegradationStats
+from repro.cluster.models import ConstantOverhead, Platform
+from repro.distributions import Exponential
+from repro.policies import OptExp, Young
+from repro.simulation.runner import LOWER_BOUND, PERIOD_LB, run_scenarios
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    platform = Platform(
+        p=4,
+        dist=Exponential.from_mtbf(12 * HOUR),
+        downtime=60.0,
+        overhead=ConstantOverhead(600.0),
+    )
+    return run_scenarios(
+        [Young(), OptExp()],
+        platform,
+        work_time=DAY,
+        n_traces=5,
+        horizon=200 * DAY,
+        seed=1,
+        period_lb_factors=[0.5, 1.0, 2.0],
+    )
+
+
+class TestRunner:
+    def test_all_policies_present(self, scenario):
+        assert set(scenario.makespans) == {"Young", "OptExp", LOWER_BOUND, PERIOD_LB}
+
+    def test_shapes(self, scenario):
+        for spans in scenario.makespans.values():
+            assert spans.shape == (5,)
+            assert np.all(np.isfinite(spans))
+
+    def test_lower_bound_is_lowest(self, scenario):
+        lb = scenario.makespans[LOWER_BOUND]
+        for name, spans in scenario.makespans.items():
+            if name != LOWER_BOUND:
+                assert np.all(lb <= spans + 1e-6)
+
+    def test_makespan_exceeds_work(self, scenario):
+        for name, spans in scenario.makespans.items():
+            if name != LOWER_BOUND:
+                assert np.all(spans >= DAY)
+
+    def test_reproducible(self):
+        platform = Platform(
+            p=2,
+            dist=Exponential.from_mtbf(12 * HOUR),
+            downtime=60.0,
+            overhead=ConstantOverhead(600.0),
+        )
+        kw = dict(
+            work_time=DAY,
+            n_traces=3,
+            horizon=100 * DAY,
+            seed=9,
+            include_period_lb=False,
+        )
+        a = run_scenarios([Young()], platform, **kw)
+        b = run_scenarios([Young()], platform, **kw)
+        assert np.array_equal(a.makespans["Young"], b.makespans["Young"])
+
+    def test_details_recorded(self, scenario):
+        assert len(scenario.details["Young"]) == 5
+        assert all(d.completed for d in scenario.details["Young"])
+
+    def test_node_granularity_traces(self):
+        """With 4-processor nodes the runner generates node-level traces
+        (num_nodes units) and the platform MTBF accounts for it."""
+        platform = Platform(
+            p=16,
+            dist=Exponential.from_mtbf(10 * DAY),
+            downtime=60.0,
+            overhead=ConstantOverhead(600.0),
+            procs_per_node=4,
+        )
+        assert platform.num_nodes == 4
+        res = run_scenarios(
+            [Young()],
+            platform,
+            work_time=DAY,
+            n_traces=2,
+            horizon=100 * DAY,
+            seed=3,
+            include_period_lb=False,
+        )
+        assert np.all(np.isfinite(res.makespans["Young"]))
+
+
+class TestDegradation:
+    def test_basic_metric(self):
+        spans = {
+            "A": np.array([100.0, 200.0]),
+            "B": np.array([110.0, 180.0]),
+            LOWER_BOUND: np.array([90.0, 150.0]),
+        }
+        stats = degradation_from_best(spans)
+        assert stats["A"].avg == pytest.approx((1.0 + 200 / 180) / 2)
+        assert stats["B"].avg == pytest.approx((1.1 + 1.0) / 2)
+        assert stats[LOWER_BOUND].avg < 1.0
+
+    def test_nan_handling(self):
+        spans = {
+            "A": np.array([100.0, np.nan]),
+            "B": np.array([120.0, 100.0]),
+        }
+        stats = degradation_from_best(spans)
+        assert stats["A"].n_valid == 1
+        assert stats["A"].avg == pytest.approx(1.0)
+        assert stats["B"].n_valid == 2
+
+    def test_all_nan_policy(self):
+        spans = {
+            "A": np.array([np.nan, np.nan]),
+            "B": np.array([120.0, 100.0]),
+        }
+        stats = degradation_from_best(spans)
+        assert math.isnan(stats["A"].avg)
+        assert stats["A"].n_valid == 0
+
+    def test_best_policy_degradation_is_one_when_always_best(self):
+        spans = {
+            "best": np.array([100.0, 100.0]),
+            "worse": np.array([150.0, 130.0]),
+        }
+        stats = degradation_from_best(spans)
+        assert stats["best"].avg == pytest.approx(1.0)
+        assert stats["best"].std == pytest.approx(0.0)
+
+    def test_requires_contenders(self):
+        with pytest.raises(ValueError):
+            degradation_from_best({LOWER_BOUND: np.array([1.0])})
+
+    def test_scenario_degradations(self, scenario):
+        stats = degradation_from_best(scenario.makespans)
+        assert stats[LOWER_BOUND].avg <= 1.0 + 1e-9
+        for name in ("Young", "OptExp", PERIOD_LB):
+            assert stats[name].avg >= 1.0 - 1e-9
+
+
+class TestFormatting:
+    def test_degradation_table(self):
+        stats = {
+            "Young": DegradationStats(1.0421, 0.003, 10),
+            "Liu": DegradationStats(math.nan, math.nan, 0),
+        }
+        text = format_degradation_table(stats, title="Table X")
+        assert "Table X" in text
+        assert "1.04210" in text
+        assert "--" in text  # NaN rendering
+
+    def test_series(self):
+        text = format_series(
+            "p", [128, 256], {"Young": [1.01, 1.02], "DPNextFailure": [1.0, 1.0]}
+        )
+        assert "p" in text and "Young" in text
+        assert "256" in text
+        assert "1.0200" in text

@@ -1,0 +1,131 @@
+"""Theorem 1 / Proposition 5 closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    _psi,
+    expected_makespan_optimal,
+    expected_tlost_exponential,
+    expected_trec,
+    optimal_num_chunks,
+    optimal_num_chunks_parallel,
+)
+from repro.units import DAY, HOUR
+
+
+class TestTlost:
+    def test_matches_lemma1_direct_formula(self):
+        lam, x = 1 / DAY, 4 * HOUR
+        expected = 1 / lam - x / (math.exp(lam * x) - 1)
+        assert expected_tlost_exponential(lam, x) == pytest.approx(expected)
+
+    def test_zero_window(self):
+        assert expected_tlost_exponential(1.0, 0.0) == 0.0
+
+    def test_small_window_half(self):
+        assert expected_tlost_exponential(1e-12, 10.0) == pytest.approx(5.0)
+
+
+class TestTrec:
+    def test_consistency_with_proposition1(self):
+        """E[Trec] = D + R + ((1-Psuc(R))/Psuc(R)) (D + E[Tlost(R)])."""
+        lam, d, r = 1 / DAY, 60.0, 600.0
+        psuc = math.exp(-lam * r)
+        direct = d + r + (1 - psuc) / psuc * (d + expected_tlost_exponential(lam, r))
+        assert expected_trec(lam, d, r) == pytest.approx(direct, rel=1e-12)
+
+    def test_reduces_to_d_plus_r_for_reliable_recovery(self):
+        assert expected_trec(1e-12, 60.0, 600.0) == pytest.approx(660.0, rel=1e-6)
+
+
+class TestOptimalChunks:
+    def test_is_local_minimum_of_psi(self):
+        lam, work, c = 1 / DAY, 20 * DAY, 600.0
+        k = optimal_num_chunks(lam, work, c)
+        val = _psi(k, lam, work, c)
+        assert val <= _psi(k + 1, lam, work, c)
+        if k > 1:
+            assert val <= _psi(k - 1, lam, work, c)
+
+    def test_beats_exhaustive_search(self):
+        lam, work, c = 1 / HOUR, 10 * HOUR, 300.0
+        k = optimal_num_chunks(lam, work, c)
+        best = min(range(1, 200), key=lambda kk: _psi(kk, lam, work, c))
+        assert k == best
+
+    def test_single_chunk_for_tiny_work(self):
+        assert optimal_num_chunks(1 / DAY, 10.0, 600.0) == 1
+
+    def test_more_failures_more_chunks(self):
+        work, c = 20 * DAY, 600.0
+        k_rare = optimal_num_chunks(1 / (7 * DAY), work, c)
+        k_freq = optimal_num_chunks(1 / HOUR, work, c)
+        assert k_freq > k_rare
+
+    def test_daly_first_order_limit(self):
+        """For lam*C -> 0, the optimal chunk approaches sqrt(2 C / lam)."""
+        lam, c = 1 / (1000 * DAY), 600.0
+        work = 2000 * DAY
+        k = optimal_num_chunks(lam, work, c)
+        chunk = work / k
+        assert chunk == pytest.approx(math.sqrt(2 * c / lam), rel=0.02)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=1800.0, max_value=30 * DAY),
+        work=st.floats(min_value=HOUR, max_value=100 * DAY),
+        c=st.floats(min_value=10.0, max_value=3600.0),
+    )
+    def test_property_neighbors_never_better(self, mtbf, work, c):
+        lam = 1.0 / mtbf
+        k = optimal_num_chunks(lam, work, c)
+        assert k >= 1
+        for kk in (k - 1, k + 1):
+            if kk >= 1:
+                assert _psi(k, lam, work, c) <= _psi(kk, lam, work, c) * (1 + 1e-12)
+
+
+class TestExpectedMakespan:
+    def test_formula_shape(self):
+        lam, work, c, d, r = 1 / DAY, 20 * DAY, 600.0, 60.0, 600.0
+        plan = expected_makespan_optimal(lam, work, c, d, r)
+        k = plan.num_chunks
+        expected = (
+            k * math.exp(lam * r) * (1 / lam + d) * (math.exp(lam * (work / k + c)) - 1)
+        )
+        assert plan.expected_makespan == pytest.approx(expected)
+        assert plan.chunk_size == pytest.approx(work / k)
+
+    def test_makespan_exceeds_work_plus_overheads(self):
+        lam, work, c, d, r = 1 / DAY, 20 * DAY, 600.0, 60.0, 600.0
+        plan = expected_makespan_optimal(lam, work, c, d, r)
+        assert plan.expected_makespan > work + plan.num_chunks * c
+
+    def test_reliable_limit_is_work_plus_checkpoints(self):
+        lam = 1e-12
+        plan = expected_makespan_optimal(lam, DAY, 600.0, 60.0, 600.0)
+        assert plan.num_chunks == 1
+        assert plan.expected_makespan == pytest.approx(DAY + 600.0, rel=1e-4)
+
+
+class TestParallel:
+    def test_macro_processor_reduction(self):
+        lam, p = 1 / (125 * 365 * DAY), 1024
+        work_p, c_p = 8 * DAY, 600.0
+        assert optimal_num_chunks_parallel(lam, p, work_p, c_p) == optimal_num_chunks(
+            p * lam, work_p, c_p
+        )
+
+    def test_more_processors_shorter_chunks(self):
+        lam = 1 / (125 * 365 * DAY)
+        work = 1000 * 365 * DAY
+        k_small = optimal_num_chunks_parallel(lam, 1024, work / 1024, 600.0)
+        k_big = optimal_num_chunks_parallel(lam, 16384, work / 16384, 600.0)
+        chunk_small = work / 1024 / k_small
+        chunk_big = work / 16384 / k_big
+        assert chunk_big < chunk_small

@@ -1,0 +1,148 @@
+"""Failure trace generation: semantics, coherence, reproducibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Weibull
+from repro.traces import (
+    PlatformTraces,
+    generate_failure_times,
+    generate_platform_traces,
+    generate_rejuvenated_platform_traces,
+)
+from repro.units import DAY, HOUR
+
+
+class TestSingleTrace:
+    def test_within_horizon_and_sorted(self):
+        rng = np.random.default_rng(0)
+        t = generate_failure_times(Exponential(1 / HOUR), 2 * DAY, rng, downtime=60.0)
+        assert np.all(t <= 2 * DAY)
+        assert np.all(np.diff(t) > 0)
+
+    def test_gaps_include_downtime(self):
+        rng = np.random.default_rng(1)
+        t = generate_failure_times(Exponential(1 / 100.0), 50_000.0, rng, downtime=30.0)
+        assert np.all(np.diff(t) >= 30.0)
+
+    def test_failure_count_matches_renewal_rate(self):
+        rng = np.random.default_rng(2)
+        horizon, mtbf, d = 500 * HOUR, HOUR, 0.0
+        t = generate_failure_times(Exponential(1 / mtbf), horizon, rng, downtime=d)
+        assert len(t) == pytest.approx(horizon / mtbf, rel=0.15)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            generate_failure_times(Exponential(1.0), 0.0, np.random.default_rng(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=10.0, max_value=1e5),
+        seed=st.integers(min_value=0, max_value=2**31),
+        k=st.floats(min_value=0.3, max_value=2.0),
+    )
+    def test_property_trace_valid_for_weibull(self, mtbf, seed, k):
+        rng = np.random.default_rng(seed)
+        horizon = 20 * mtbf
+        t = generate_failure_times(
+            Weibull.from_mtbf(mtbf, k), horizon, rng, downtime=mtbf / 100
+        )
+        assert np.all(t > 0)
+        assert np.all(t <= horizon)
+        assert np.all(np.diff(t) >= mtbf / 100 - 1e-9)
+
+
+class TestPlatformTraces:
+    def test_reproducible(self):
+        a = generate_platform_traces(Exponential(1 / HOUR), 5, DAY, seed=7)
+        b = generate_platform_traces(Exponential(1 / HOUR), 5, DAY, seed=7)
+        for x, y in zip(a.per_unit, b.per_unit):
+            assert np.array_equal(x, y)
+
+    def test_different_seeds_differ(self):
+        a = generate_platform_traces(Exponential(1 / HOUR), 3, DAY, seed=1)
+        b = generate_platform_traces(Exponential(1 / HOUR), 3, DAY, seed=2)
+        assert not all(np.array_equal(x, y) for x, y in zip(a.per_unit, b.per_unit))
+
+    def test_prefix_coherence(self):
+        """Traces for a p-unit job are the prefix of the full platform's
+        traces (paper Section 4.3)."""
+        full = generate_platform_traces(Exponential(1 / HOUR), 8, DAY, seed=3)
+        small = full.for_job(3)
+        big = full.for_job(8)
+        small_events = set(zip(small.times.tolist(), small.units.tolist()))
+        big_events = set(
+            (t, u) for t, u in zip(big.times.tolist(), big.units.tolist()) if u < 3
+        )
+        assert small_events == big_events
+
+    def test_merged_sorted(self):
+        tr = generate_platform_traces(Exponential(1 / HOUR), 6, DAY, seed=4).for_job(6)
+        assert np.all(np.diff(tr.times) >= 0)
+        assert tr.units.max() < 6
+
+    def test_for_job_validates(self):
+        pt = generate_platform_traces(Exponential(1 / HOUR), 2, DAY, seed=0)
+        with pytest.raises(ValueError):
+            pt.for_job(3)
+        with pytest.raises(ValueError):
+            pt.for_job(0)
+
+
+class TestRejuvenatedTraces:
+    def test_single_macro_unit(self):
+        pt = generate_rejuvenated_platform_traces(
+            Exponential(1 / HOUR), 8, DAY, downtime=60.0, seed=0
+        )
+        assert pt.n_units == 1
+
+    def test_failure_rate_matches_min_law(self):
+        from repro.distributions import Weibull
+        from repro.distributions.minimum import MinOfIID
+
+        d = Weibull.from_mtbf(10 * DAY, 0.7)
+        p = 16
+        horizon = 3000 * DAY
+        pt = generate_rejuvenated_platform_traces(d, p, horizon, seed=1)
+        rate = pt.per_unit[0].size / horizon
+        assert rate == pytest.approx(1.0 / MinOfIID(d, p).mean(), rel=0.1)
+
+    def test_exponential_matches_independent_rate(self):
+        """Memorylessness: both trace models yield the same platform
+        failure rate for Exponential lifetimes."""
+        d = Exponential(1 / DAY)
+        p, horizon = 8, 2000 * DAY
+        merged = generate_platform_traces(d, p, horizon, seed=2).for_job(p)
+        rej = generate_rejuvenated_platform_traces(d, p, horizon, seed=3).for_job(1)
+        assert merged.times.size == pytest.approx(rej.times.size, rel=0.1)
+
+
+class TestJobTraces:
+    def test_next_event_index(self):
+        pt = PlatformTraces([np.array([10.0, 20.0, 30.0])], horizon=100.0, downtime=1.0)
+        tr = pt.for_job(1)
+        assert tr.next_event_index(5.0) == 0
+        assert tr.next_event_index(10.0) == 1  # strictly after
+        assert tr.next_event_index(25.0) == 2
+        assert tr.next_event_index(99.0) == 3
+
+    def test_lifetime_starts(self):
+        pt = PlatformTraces(
+            [np.array([10.0]), np.array([50.0]), np.array([])],
+            horizon=100.0,
+            downtime=5.0,
+        )
+        tr = pt.for_job(3)
+        starts = tr.lifetime_starts_at(t0=30.0)
+        assert starts[0] == pytest.approx(15.0)  # failed at 10, downtime 5
+        assert starts[1] == 0.0  # fails later, lifetime began at 0
+        assert starts[2] == 0.0  # never fails
+
+    def test_downtime_in_progress_at_submission(self):
+        # failure at 29 with downtime 5: the unit is still down at t0=30
+        # and its lifetime starts at 34, after the submission time
+        pt = PlatformTraces([np.array([29.0])], horizon=100.0, downtime=5.0)
+        starts = pt.for_job(1).lifetime_starts_at(t0=30.0)
+        assert starts[0] == pytest.approx(34.0)

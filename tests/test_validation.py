@@ -1,0 +1,126 @@
+"""KS goodness-of-fit machinery and ASCII charts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.validation import (
+    empirical_cdf,
+    ks_pvalue,
+    ks_statistic,
+    ks_test,
+    qq_points,
+)
+from repro.distributions import Exponential, Weibull
+from repro.units import DAY, HOUR
+
+
+class TestKSStatistic:
+    def test_perfect_fit_small_statistic(self):
+        d = Exponential(1.0 / HOUR)
+        rng = np.random.default_rng(0)
+        xs = d.sample(rng, size=5000)
+        stat = ks_statistic(xs, d)
+        assert stat < 0.03  # ~1.63/sqrt(n) at 1% level
+
+    def test_wrong_law_large_statistic(self):
+        rng = np.random.default_rng(1)
+        xs = Weibull.from_mtbf(HOUR, 0.4).sample(rng, size=5000)
+        stat = ks_statistic(xs, Exponential(1.0 / HOUR))
+        assert stat > 0.1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], Exponential(1.0))
+
+
+class TestKSPValue:
+    def test_known_reference_value(self):
+        # Kolmogorov distribution: P(sqrt(n) D > 1.3581) ~ 0.05
+        n = 10_000
+        d = 1.3581 / math.sqrt(n)
+        assert ks_pvalue(d, n) == pytest.approx(0.05, abs=0.01)
+
+    def test_bounds(self):
+        assert ks_pvalue(0.0, 100) == 1.0
+        assert ks_pvalue(1.0, 100) < 1e-10
+
+    def test_agrees_with_scipy(self):
+        from scipy.stats import kstest
+
+        d = Exponential(1.0)
+        rng = np.random.default_rng(2)
+        xs = d.sample(rng, size=2000)
+        ours = ks_pvalue(ks_statistic(xs, d), len(xs))
+        ref = kstest(xs, lambda t: np.asarray(d.cdf(t))).pvalue
+        assert ours == pytest.approx(ref, abs=0.03)
+
+
+class TestKSTest:
+    def test_accepts_correct_law(self):
+        d = Weibull.from_mtbf(DAY, 0.7)
+        rng = np.random.default_rng(3)
+        assert ks_test(d.sample(rng, size=3000), d)
+
+    def test_rejects_wrong_law(self):
+        rng = np.random.default_rng(4)
+        xs = Weibull.from_mtbf(DAY, 0.4).sample(rng, size=3000)
+        assert not ks_test(xs, Exponential(1.0 / DAY))
+
+    def test_trace_generator_samples_the_right_law(self):
+        """End-to-end: inter-failure gaps in a generated trace (minus
+        downtime) follow the input distribution."""
+        from repro.traces import generate_failure_times
+
+        d = Weibull.from_mtbf(HOUR, 0.7)
+        rng = np.random.default_rng(5)
+        times = generate_failure_times(d, 4000 * HOUR, rng, downtime=60.0)
+        gaps = np.diff(times) - 60.0
+        assert ks_test(gaps, d)
+
+
+class TestHelpers:
+    def test_empirical_cdf(self):
+        f = empirical_cdf([1.0, 2.0, 3.0, 4.0], [0.5, 2.0, 10.0])
+        assert np.allclose(f, [0.0, 0.5, 1.0])
+
+    def test_qq_points_identity_for_good_fit(self):
+        d = Exponential(1.0)
+        rng = np.random.default_rng(6)
+        theo, emp = qq_points(d.sample(rng, size=20_000), d, n_points=20)
+        # interior quantiles line up
+        assert np.allclose(theo[2:-2], emp[2:-2], rtol=0.1)
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        text = ascii_chart(
+            [1, 2, 3],
+            {"young": [1.0, 1.1, 1.3], "dp": [1.0, 1.0, 1.05]},
+            width=40,
+            height=10,
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=young" in text and "x=dp" in text
+        assert "o" in text.splitlines()[2]
+
+    def test_nan_points_skipped(self):
+        text = ascii_chart([1, 2], {"liu": [1.2, float("nan")]}, width=20, height=5)
+        assert "o" in text
+
+    def test_logy(self):
+        text = ascii_chart(
+            [1, 2], {"s": [1.0, 1000.0]}, width=20, height=5, logy=True
+        )
+        assert "1000" in text
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [-1.0]}, logy=True)

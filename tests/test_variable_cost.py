@@ -1,0 +1,71 @@
+"""Progress-dependent checkpoint cost extension (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import expected_makespan_optimal
+from repro.core.variable_cost import dp_makespan_variable_cost
+from repro.units import DAY, HOUR
+
+
+class TestConstantCostReduction:
+    def test_matches_theorem1(self):
+        """With a constant cost function the DP must reproduce the
+        Theorem 1 optimum (up to quantization)."""
+        lam, work, c, d, r = 1 / (6 * HOUR), 12 * HOUR, 600.0, 60.0, 600.0
+        plan = dp_makespan_variable_cost(
+            work, lambda _: c, lam, d, lambda _: r, n_grid=288
+        )
+        theory = expected_makespan_optimal(lam, work, c, d, r)
+        assert plan.expected_makespan == pytest.approx(
+            theory.expected_makespan, rel=0.02
+        )
+        # equal-size chunks
+        assert np.ptp(plan.chunks) <= plan.u + 1e-9
+
+    def test_chunks_cover_work(self):
+        plan = dp_makespan_variable_cost(
+            10 * HOUR, lambda _: 300.0, 1 / DAY, 60.0, n_grid=100
+        )
+        assert plan.chunks.sum() == pytest.approx(10 * HOUR)
+
+
+class TestVariableCost:
+    def test_cheaper_checkpoints_taken_more_often(self):
+        """If checkpoints get cheaper as the job progresses (state
+        shrinks), the later chunks should be shorter than under the
+        mirrored cost profile."""
+        lam, work, d = 1 / (4 * HOUR), 12 * HOUR, 60.0
+
+        def shrinking(remaining):  # cheap near the end
+            return 60.0 + 1200.0 * remaining / work
+
+        def growing(remaining):  # cheap near the start
+            return 60.0 + 1200.0 * (1.0 - remaining / work)
+
+        plan_shrink = dp_makespan_variable_cost(work, shrinking, lam, d, n_grid=192)
+        plan_grow = dp_makespan_variable_cost(work, growing, lam, d, n_grid=192)
+        # compare mean chunk length in the last third of the schedule
+        def tail_mean(plan):
+            k = max(1, len(plan.chunks) // 3)
+            return float(np.mean(plan.chunks[-k:]))
+
+        assert tail_mean(plan_shrink) < tail_mean(plan_grow)
+
+    def test_expensive_cost_fewer_checkpoints(self):
+        lam, work, d = 1 / DAY, 12 * HOUR, 60.0
+        cheap = dp_makespan_variable_cost(work, lambda _: 60.0, lam, d, n_grid=144)
+        dear = dp_makespan_variable_cost(work, lambda _: 1800.0, lam, d, n_grid=144)
+        assert len(dear.chunks) < len(cheap.chunks)
+
+    def test_checkpoint_progress_monotone(self):
+        plan = dp_makespan_variable_cost(
+            8 * HOUR, lambda w: 100.0 + w / 100.0, 1 / DAY, 60.0, n_grid=96
+        )
+        prog = plan.checkpoint_progress()
+        assert np.all(np.diff(prog) > 0)
+        assert prog[-1] == pytest.approx(1.0)
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            dp_makespan_variable_cost(HOUR, lambda _: 1.0, 1.0, 0.0, u=0.0)

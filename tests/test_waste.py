@@ -1,0 +1,28 @@
+"""Waste-breakdown experiment driver."""
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.waste import run_waste_breakdown
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_waste_breakdown(scale=SMOKE)
+
+
+def test_three_policies(rows):
+    assert [r.policy for r in rows] == ["Young", "OptExp", "DPNextFailure"]
+
+
+def test_breakdown_sums_to_makespan(rows):
+    for r in rows:
+        f = r.as_fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in f.values())
+
+
+def test_work_is_largest_component(rows):
+    for r in rows:
+        assert r.work > r.checkpointing
+        assert r.work > r.lost + r.outage

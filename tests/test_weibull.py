@@ -1,0 +1,102 @@
+"""Weibull distribution: shapes, hazard behavior and the rejuvenation
+closure property that underpins Figure 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.units import DAY, YEAR
+
+
+class TestConstruction:
+    def test_from_mtbf_mean(self):
+        for k in (0.5, 0.7, 1.0, 2.0):
+            d = Weibull.from_mtbf(DAY, k)
+            assert d.mean() == pytest.approx(DAY, rel=1e-12)
+
+    def test_k1_equals_exponential(self):
+        d = Weibull.from_mtbf(DAY, 1.0)
+        ts = np.geomspace(100.0, 5 * DAY, 20)
+        assert np.allclose(d.sf(ts), np.exp(-ts / DAY), rtol=1e-10)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 0.7)
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+
+class TestHazard:
+    def test_decreasing_hazard_for_k_below_one(self):
+        d = Weibull.from_mtbf(DAY, 0.7)
+        ts = np.geomspace(60.0, 10 * DAY, 50)
+        h = d.hazard(ts)
+        assert np.all(np.diff(h) < 0)
+
+    def test_increasing_hazard_for_k_above_one(self):
+        d = Weibull.from_mtbf(DAY, 2.0)
+        ts = np.geomspace(60.0, 10 * DAY, 50)
+        h = d.hazard(ts)
+        assert np.all(np.diff(h) > 0)
+
+    def test_aged_processor_survives_better_when_k_below_one(self):
+        """P(X > t + x | X > t) increases with t for k < 1 — the paper's
+        argument against all-processor rejuvenation."""
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        x = DAY
+        p_young = float(d.psuc(x, 0.0))
+        p_old = float(d.psuc(x, YEAR))
+        assert p_old > p_young
+
+    def test_opposite_for_k_above_one(self):
+        d = Weibull.from_mtbf(125 * YEAR, 1.5)
+        x = DAY
+        assert float(d.psuc(x, YEAR)) < float(d.psuc(x, 0.0))
+
+
+class TestRejuvenatedPlatform:
+    def test_min_closure_scale(self):
+        d = Weibull(lam=100.0, k=0.7)
+        m = d.rejuvenated_platform(16)
+        assert m.k == 0.7
+        assert m.lam == pytest.approx(100.0 / 16 ** (1 / 0.7))
+
+    def test_min_distribution_matches_sampling(self):
+        d = Weibull.from_mtbf(DAY, 0.7)
+        p = 8
+        rng = np.random.default_rng(5)
+        samples = d.sample(rng, size=(20_000, p)).min(axis=1)
+        assert samples.mean() == pytest.approx(
+            d.rejuvenated_platform(p).mean(), rel=0.05
+        )
+
+    def test_platform_mtbf_shrinks_superlinearly_for_k_below_one(self):
+        d = Weibull.from_mtbf(125 * YEAR, 0.7)
+        p = 1024
+        assert d.rejuvenated_platform(p).mean() < d.mean() / p
+
+
+class TestConditionalSampling:
+    def test_closed_form_matches_survival(self):
+        d = Weibull.from_mtbf(DAY, 0.5)
+        rng = np.random.default_rng(2)
+        tau = DAY / 2
+        xs = d.sample_conditional(rng, tau, size=30_000)
+        probe = DAY
+        assert np.mean(xs >= probe) == pytest.approx(
+            float(d.psuc(probe, tau)), abs=0.01
+        )
+
+    def test_zero_age_is_unconditional(self):
+        d = Weibull.from_mtbf(DAY, 0.7)
+        rng = np.random.default_rng(4)
+        xs = d.sample_conditional(rng, 0.0, size=30_000)
+        assert np.mean(xs) == pytest.approx(DAY, rel=0.08)
+
+
+def test_quantile_roundtrip():
+    d = Weibull.from_mtbf(DAY, 0.7)
+    qs = np.array([0.01, 0.3, 0.77, 0.999])
+    assert np.allclose(d.cdf(d.quantile(qs)), qs, rtol=1e-10)
