@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench-smoke verify
+
+# Full tier-1 suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast lane: skips the @pytest.mark.slow DP/integration tests (~3x faster).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Tiny end-to-end benchmark: Figure 2 experiment at smoke scale with the
+# parallel runner engaged.  Exercises trace generation, every policy
+# family, the DP cache, and the process pool in a few seconds.
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke REPRO_BENCH_TRACES=2 REPRO_BENCH_PETA=64 \
+	REPRO_BENCH_PPOINTS=2 REPRO_BENCH_JOBS=2 \
+		$(PYTHON) -m pytest benchmarks/bench_fig2_peta_exp.py --benchmark-only -q
+
+# What CI / pre-merge should run.
+verify: test-fast bench-smoke

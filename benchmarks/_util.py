@@ -7,7 +7,10 @@ prints the paper-style table/series and archives it under
 
 The experiment scale is selected with the ``REPRO_BENCH_SCALE``
 environment variable: ``smoke`` | ``small`` (default) | ``medium`` |
-``paper``.
+``paper``.  Execution knobs: ``REPRO_BENCH_JOBS`` fans scenario work
+out over N worker processes (0 = one per CPU; results are bit-identical
+to serial), ``REPRO_BENCH_NO_CACHE=1`` bypasses the shared DP table
+cache — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -17,10 +20,22 @@ import os
 import pathlib
 
 from repro.experiments import MEDIUM, PAPER, SMALL, SMOKE, ExperimentScale
+from repro.simulation.parallel import set_default_execution
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _SCALES = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM, "paper": PAPER}
+
+
+def apply_execution_env() -> None:
+    """Install ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` as the
+    process-wide execution default so every driver the benchmark calls
+    inherits them."""
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    if jobs:
+        set_default_execution(jobs=int(jobs))
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        set_default_execution(use_cache=False)
 
 
 def bench_scale(**overrides) -> ExperimentScale:
@@ -31,8 +46,11 @@ def bench_scale(**overrides) -> ExperimentScale:
 
     - ``REPRO_BENCH_TRACES``: cap ``n_traces``;
     - ``REPRO_BENCH_PETA`` / ``REPRO_BENCH_EXA``: platform sizes;
-    - ``REPRO_BENCH_PPOINTS``: points on degradation-vs-p axes.
+    - ``REPRO_BENCH_PPOINTS``: points on degradation-vs-p axes;
+    - ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE``: execution mode
+      (worker processes / DP-cache bypass), applied as a side effect.
     """
+    apply_execution_env()
     name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
     scale = _SCALES.get(name, SMALL)
     env = {}

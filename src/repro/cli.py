@@ -9,6 +9,11 @@ Subcommands:
 
 Durations accept suffixes: ``s`` (default), ``m``, ``h``, ``d``, ``w``,
 ``y`` — e.g. ``--work 20d --mtbf 1w --checkpoint 600``.
+
+``simulate`` and ``experiment`` take ``--jobs N`` (fan scenario work out
+over ``N`` worker processes; 0 = one per CPU; results are bit-identical
+to ``--jobs 1``) and ``--no-cache`` (bypass the shared DP table cache) —
+see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -109,9 +114,11 @@ def cmd_plan(args) -> int:
 def cmd_simulate(args) -> int:
     import numpy as np
 
+    from repro.policies.base import PolicyInfeasibleError
     from repro.simulation import simulate_job, simulate_lower_bound
     from repro.traces import generate_platform_traces
 
+    _apply_execution_flags(args)
     dist = _make_dist(args)
     mtbf_platform = (dist.mean() + args.downtime) / args.units
     horizon = 60.0 * args.work / args.units + args.mtbf
@@ -120,15 +127,20 @@ def cmd_simulate(args) -> int:
         tr = generate_platform_traces(
             dist, args.units, horizon, downtime=args.downtime, seed=[args.seed, i]
         ).for_job(args.units)
-        res = simulate_job(
-            _make_policy(args.policy, args),
-            args.work / args.units,
-            tr,
-            args.checkpoint,
-            args.recovery,
-            dist,
-            platform_mtbf=mtbf_platform,
-        )
+        try:
+            res = simulate_job(
+                _make_policy(args.policy, args),
+                args.work / args.units,
+                tr,
+                args.checkpoint,
+                args.recovery,
+                dist,
+                platform_mtbf=mtbf_platform,
+            )
+        except PolicyInfeasibleError as exc:
+            print(f"error: {args.policy} is infeasible on this scenario: {exc}",
+                  file=sys.stderr)
+            return 1
         spans.append(res.makespan)
         fails.append(res.n_failures)
         if args.lower_bound:
@@ -165,6 +177,7 @@ def cmd_experiment(args) -> int:
     from repro.experiments import MEDIUM, SMALL, SMOKE
     from repro.units import DAY as _DAY
 
+    _apply_execution_flags(args)
     scale = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM}[args.scale]
     name = args.name
 
@@ -258,6 +271,26 @@ def cmd_mtbf(args) -> int:
 # ----------------------------------------------------------------------
 
 
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                   help="worker processes for scenario execution "
+                        "(default 1 = serial; 0 = one per CPU; results "
+                        "are bit-identical for any N)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the shared DP table cache")
+
+
+def _apply_execution_flags(args) -> None:
+    """Install --jobs/--no-cache as the process-wide execution default
+    so every driver underneath the command inherits them."""
+    from repro.simulation.parallel import set_default_execution
+
+    set_default_execution(
+        jobs=getattr(args, "jobs", None),
+        use_cache=False if getattr(args, "no_cache", False) else None,
+    )
+
+
 def _add_common_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mtbf", type=parse_duration, default="1d",
                    help="processor MTBF (default 1d)")
@@ -298,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--lower-bound", action="store_true",
                        help="also print the omniscient lower bound")
+    _add_execution_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="run a paper table/figure")
@@ -306,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="smoke")
     p_exp.add_argument("--chart", action="store_true",
                        help="render figures as ASCII charts")
+    _add_execution_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_mtbf = sub.add_parser("mtbf", help="Figure-1 rejuvenation analytics")

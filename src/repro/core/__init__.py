@@ -12,6 +12,8 @@
   parallel) maximizing expected work before the next failure.
 - :mod:`repro.core.dp_makespan` — Algorithm 1 minimizing expected
   makespan for arbitrary distributions (sequential).
+- :mod:`repro.core.cache` — process-wide memoization of solved DP
+  tables keyed on the exact scenario parameters.
 """
 
 from repro.core.lambert import lambert_w
@@ -30,6 +32,16 @@ from repro.core.dp_nextfailure import (
     expected_work_of_schedule,
 )
 from repro.core.dp_makespan import DPMakespanResult, dp_makespan
+from repro.core.cache import (
+    CacheStats,
+    DPTableCache,
+    cache_stats,
+    cached_dp_makespan,
+    cached_dp_next_failure_parallel,
+    clear_cache,
+    configure_cache,
+    get_cache,
+)
 
 __all__ = [
     "lambert_w",
@@ -46,4 +58,12 @@ __all__ = [
     "expected_work_of_schedule",
     "DPMakespanResult",
     "dp_makespan",
+    "CacheStats",
+    "DPTableCache",
+    "cache_stats",
+    "cached_dp_makespan",
+    "cached_dp_next_failure_parallel",
+    "clear_cache",
+    "configure_cache",
+    "get_cache",
 ]

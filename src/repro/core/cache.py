@@ -1,0 +1,224 @@
+"""Shared memoization of solved DP chunking tables.
+
+The dynamic programs are the expensive kernels of the reproduction:
+``dp_makespan`` costs ``O((W/u)^3)`` and ``dp_next_failure_parallel``
+``O((W/u)^2 log(W/u))`` per invocation, yet scenario sweeps call them
+with the *same* inputs over and over — every trace of a DPMakespan
+scenario solves one identical table, and repeated scenarios (PeriodLB
+sweeps, ablations, benchmark re-runs within a process) re-derive tables
+already solved.
+
+This module provides one process-wide :class:`DPTableCache` plus keyed
+wrappers for both DPs.  Keys are **exact**: the full scenario tuple
+``(distribution, W, C, D, R, quantum, tau0)`` for DPMakespan and
+``(distribution, W, C, quantum, platform-state bytes)`` for
+DPNextFailure, with the distribution identified by
+:meth:`repro.distributions.base.FailureDistribution.cache_key` (which
+includes every parameter, and a content digest for :class:`Empirical`).
+A cache hit therefore returns the bit-identical object the solver would
+have produced — caching never changes results, only wall-clock.
+
+Invalidation rules:
+
+- the cache is keyed on *values*, not identities, so there is nothing to
+  invalidate as long as distributions are immutable (they are);
+- :func:`clear_cache` empties it (tests, memory pressure);
+- :func:`configure_cache` ``enabled=False`` bypasses it entirely (the
+  CLI ``--no-cache`` escape hatch); every lookup then counts as a miss;
+- the cache is bounded (LRU, default 256 tables) so unbounded sweeps
+  cannot exhaust memory.
+
+Worker processes of the parallel runner inherit the parent's cache at
+fork time and populate their own copies afterwards; per-work-unit
+hit/miss deltas are shipped back and aggregated into
+``ScenarioResult.cache_hits`` / ``cache_misses``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = [
+    "CacheStats",
+    "DPTableCache",
+    "get_cache",
+    "configure_cache",
+    "clear_cache",
+    "cache_stats",
+    "cached_dp_makespan",
+    "cached_dp_next_failure_parallel",
+]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative lookup counters of a :class:`DPTableCache`."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DPTableCache:
+    """Bounded LRU table store with hit/miss accounting.
+
+    Thread-safe; the stored values are treated as immutable (the DP
+    result objects are never mutated after construction).
+    """
+
+    def __init__(self, maxsize: int = 256, enabled: bool = True):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value for ``key``, computing it on a miss.
+
+        With the cache disabled every call computes (and counts as a
+        miss) without storing, so ``--no-cache`` runs measure the true
+        uncached cost.
+        """
+        if self.enabled:
+            with self._lock:
+                if key in self._data:
+                    self.hits += 1
+                    self._data.move_to_end(key)
+                    return self._data[key]
+        value = compute()
+        with self._lock:
+            self.misses += 1
+            if self.enabled:
+                self._data[key] = value
+                self._data.move_to_end(key)
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every stored table and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters and current size."""
+        with self._lock:
+            return CacheStats(self.hits, self.misses, len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_CACHE = DPTableCache()
+
+
+def get_cache() -> DPTableCache:
+    """The process-wide DP table cache."""
+    return _CACHE
+
+
+def configure_cache(enabled: bool | None = None, maxsize: int | None = None) -> None:
+    """Adjust the global cache.  Disabling does not drop stored tables;
+    re-enabling resumes hitting them."""
+    if enabled is not None:
+        _CACHE.enabled = bool(enabled)
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        _CACHE.maxsize = int(maxsize)
+
+
+def clear_cache() -> None:
+    """Drop every table in the global cache and reset its counters."""
+    _CACHE.clear()
+
+
+def cache_stats() -> CacheStats:
+    """Counters of the global cache (used for the per-work-unit deltas
+    the parallel runner aggregates into ``ScenarioResult``)."""
+    return _CACHE.stats()
+
+
+# ----------------------------------------------------------------------
+# keyed DP wrappers
+# ----------------------------------------------------------------------
+
+
+def cached_dp_makespan(
+    work: float,
+    checkpoint: float,
+    downtime: float,
+    recovery: float,
+    dist,
+    u: float,
+    tau0: float = 0.0,
+):
+    """Memoized :func:`repro.core.dp_makespan.dp_makespan`.
+
+    The key is the full scenario tuple, so any two calls that would
+    solve the same DP share one table.
+    """
+    from repro.core.dp_makespan import dp_makespan
+
+    key = (
+        "dp_makespan",
+        dist.cache_key(),
+        float(work),
+        float(checkpoint),
+        float(downtime),
+        float(recovery),
+        float(u),
+        float(tau0),
+    )
+    return _CACHE.get_or_compute(
+        key,
+        lambda: dp_makespan(
+            work=work,
+            checkpoint=checkpoint,
+            downtime=downtime,
+            recovery=recovery,
+            dist=dist,
+            u=u,
+            tau0=tau0,
+        ),
+    )
+
+
+def cached_dp_next_failure_parallel(work: float, checkpoint: float, state, u: float):
+    """Memoized :func:`repro.core.dp_nextfailure.dp_next_failure_parallel`.
+
+    The platform state enters the key as the exact bytes of its age and
+    weight vectors, so two states hit only when they are numerically
+    identical — e.g. the fresh-platform plan every trace of a ``t0 = 0``
+    scenario starts from, or repeated sweeps over the same ages.
+    """
+    from repro.core.dp_nextfailure import dp_next_failure_parallel
+
+    key = (
+        "dp_next_failure",
+        state.dist.cache_key(),
+        float(work),
+        float(checkpoint),
+        float(u),
+        state.taus.tobytes(),
+        state.weights.tobytes(),
+    )
+    return _CACHE.get_or_compute(
+        key, lambda: dp_next_failure_parallel(work, checkpoint, state, u)
+    )

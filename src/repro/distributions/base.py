@@ -147,5 +147,16 @@ class FailureDistribution(abc.ABC):
         target = s_tau * (1.0 - u)
         return self.quantile(1.0 - target) - tau
 
+    def cache_key(self) -> tuple:
+        """Hashable identity used by :mod:`repro.core.cache`.
+
+        Must distinguish any two distributions that ever answer a
+        survival query differently.  The parametric families carry every
+        parameter in their ``repr``; data-backed distributions
+        (:class:`~repro.distributions.empirical.Empirical`) override this
+        with a content digest.
+        """
+        return (type(self).__name__, repr(self))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -112,5 +112,13 @@ class Empirical(FailureDistribution):
         out = self.durations[idx]
         return float(out[0]) if out.size == 1 else out
 
+    def cache_key(self) -> tuple:
+        # repr only summarizes; key on the exact sorted data so two
+        # different logs never collide in the DP table cache.
+        import hashlib
+
+        digest = hashlib.sha1(self.durations.tobytes()).hexdigest()
+        return ("Empirical", self.n, digest)
+
     def __repr__(self) -> str:
         return f"Empirical(n={self.n}, mean={self.mean():.1f}s)"

@@ -69,5 +69,8 @@ class MinOfIID(FailureDistribution):
         """Inverse-cdf sampling (O(1) in ``p``)."""
         return self.quantile(rng.random(size))
 
+    def cache_key(self) -> tuple:
+        return ("MinOfIID", self.base.cache_key(), self.p)
+
     def __repr__(self) -> str:
         return f"MinOfIID({self.base!r}, p={self.p})"

@@ -18,8 +18,7 @@ import math
 
 import numpy as np
 
-from repro.core.dp_makespan import dp_makespan
-from repro.core.dp_nextfailure import dp_next_failure_parallel
+from repro.core.cache import cached_dp_makespan, cached_dp_next_failure_parallel
 from repro.core.state import PlatformState
 from repro.distributions.minimum import MinOfIID
 from repro.policies.base import Policy
@@ -73,6 +72,13 @@ class DPNextFailurePolicy(Policy):
     def setup(self, ctx: "JobContext") -> None:
         self._queue = []
 
+    def __getstate__(self):
+        # Drop the in-flight plan when shipped to a runner worker: it is
+        # per-trace state that setup() rebuilds.
+        state = self.__dict__.copy()
+        state["_queue"] = []
+        return state
+
     def on_failure(self, ctx: "JobContext") -> None:
         # The platform state changed: the current plan is stale.
         self._queue = []
@@ -90,7 +96,7 @@ class DPNextFailurePolicy(Policy):
         if self.compress:
             state = state.compress(self.nexact, self.napprox)
         u = max(horizon / self.n_grid, 1e-6)
-        result = dp_next_failure_parallel(horizon, ctx.checkpoint, state, u)
+        result = cached_dp_next_failure_parallel(horizon, ctx.checkpoint, state, u)
         chunks = list(result.chunks)
         if truncated and len(chunks) > 1:
             keep = max(1, int(math.ceil(len(chunks) * self.use_fraction)))
@@ -131,7 +137,6 @@ class DPMakespanPolicy(Policy):
         self._result = None
         self._failed = False
         self._elapsed_grid = 0.0
-        self._cache: dict[tuple, object] = {}
 
     def setup(self, ctx: "JobContext") -> None:
         self._failed = False
@@ -140,28 +145,24 @@ class DPMakespanPolicy(Policy):
         u = max(ctx.checkpoint, ctx.work_time / self.n_grid, 1e-6)
         # The macro-processor is taken fresh at job start (tau0 = 0); the
         # DP solution then only depends on the scenario parameters and is
-        # cached across traces.
-        key = (
-            ctx.work_time,
-            ctx.checkpoint,
-            ctx.recovery,
-            ctx.downtime,
-            ctx.n_units,
-            repr(ctx.dist),
+        # shared across traces, scenarios and runner workers through the
+        # process-wide table cache (repro.core.cache).
+        self._result = cached_dp_makespan(
+            work=ctx.work_time,
+            checkpoint=ctx.checkpoint,
+            downtime=ctx.downtime,
+            recovery=ctx.recovery,
+            dist=law,
+            u=u,
+            tau0=0.0,
         )
-        result = self._cache.get(key)
-        if result is None:
-            result = dp_makespan(
-                work=ctx.work_time,
-                checkpoint=ctx.checkpoint,
-                downtime=ctx.downtime,
-                recovery=ctx.recovery,
-                dist=law,
-                u=u,
-                tau0=0.0,
-            )
-            self._cache[key] = result
-        self._result = result
+
+    def __getstate__(self):
+        # The solved table is per-scenario state that setup() re-derives
+        # (from the shared cache when warm); keep worker payloads small.
+        state = self.__dict__.copy()
+        state["_result"] = None
+        return state
 
     def on_failure(self, ctx: "JobContext") -> None:
         self._failed = True

@@ -1,6 +1,12 @@
 """Discrete-event simulation of checkpoint/restart execution."""
 
 from repro.simulation.engine import JobContext, simulate_job, simulate_lower_bound
+from repro.simulation.parallel import (
+    ExecutionConfig,
+    ParallelRunner,
+    get_default_execution,
+    set_default_execution,
+)
 from repro.simulation.results import SimulationResult
 from repro.simulation.runner import ScenarioResult, run_scenarios
 
@@ -11,4 +17,8 @@ __all__ = [
     "SimulationResult",
     "ScenarioResult",
     "run_scenarios",
+    "ExecutionConfig",
+    "ParallelRunner",
+    "get_default_execution",
+    "set_default_execution",
 ]

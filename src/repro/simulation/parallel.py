@@ -1,0 +1,490 @@
+"""Parallel execution layer for the simulation study.
+
+The paper's experiments (Sections 4-6) evaluate ~10 policies over
+hundreds of independent failure traces per scenario — embarrassingly
+parallel work that the serial runner executed one (policy, trace) pair
+at a time.  :class:`ParallelRunner` fans that work out over a
+``concurrent.futures.ProcessPoolExecutor`` in three phases:
+
+1. **trace phase** — batches of trace indices; each worker regenerates
+   its traces and runs every policy (plus the omniscient LowerBound);
+2. **period-search phase** — batches of PeriodLB candidate periods,
+   each evaluated over the search-subset traces;
+3. **winner phase** — the best period's policy over all traces.
+
+Determinism guarantee
+---------------------
+Results are **bit-identical** to the serial path for a fixed ``seed``,
+by construction:
+
+- trace ``i`` is always generated from
+  ``numpy.random.SeedSequence([seed, i])`` — a function of the trace
+  *index* alone, never of the batch it lands in or the worker that runs
+  it;
+- :func:`repro.simulation.engine.simulate_job` is deterministic given
+  (policy parameters, trace), and every policy's per-trace state is
+  reset by ``setup()``;
+- batches are stitched back by index, and the PeriodLB winner is the
+  ``argmin`` over the same sorted candidate array the serial path scans.
+
+Running with ``jobs=1`` executes the identical unit functions in
+process, so the serial path is the parallel path with a trivial
+executor — there is no second implementation to drift.
+
+Infeasible policies (:class:`repro.policies.base.PolicyInfeasibleError`,
+e.g. Liu on large Weibull platforms) are recorded explicitly in
+``ScenarioResult.infeasible`` as ``{policy name: [trace indices]}`` on
+both paths; their makespans stay ``NaN`` as before, but the error is no
+longer silently swallowed.
+
+DP table caching is controlled per run (``use_cache``) and observable:
+workers return per-unit hit/miss deltas of :mod:`repro.core.cache`,
+aggregated into ``ScenarioResult.cache_hits`` / ``cache_misses``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.models import Platform
+from repro.core.cache import cache_stats, configure_cache, get_cache
+from repro.policies.base import PeriodicPolicy, PolicyInfeasibleError
+from repro.simulation.engine import simulate_job, simulate_lower_bound
+from repro.traces.generation import generate_platform_traces
+
+__all__ = [
+    "ExecutionConfig",
+    "ParallelRunner",
+    "get_default_execution",
+    "set_default_execution",
+    "resolve_jobs",
+]
+
+
+@dataclass
+class ExecutionConfig:
+    """Process-wide defaults for scenario execution.
+
+    ``jobs``: worker processes (1 = in-process serial; 0 or negative =
+    one per available CPU).  ``use_cache``: consult the shared DP table
+    cache.  ``batch_size``: trace indices per work unit (None = split
+    evenly, ~4 units per worker for load balancing).
+    """
+
+    jobs: int = 1
+    use_cache: bool = True
+    batch_size: int | None = None
+
+
+_DEFAULT = ExecutionConfig()
+
+
+def get_default_execution() -> ExecutionConfig:
+    """A copy of the current default execution configuration."""
+    return replace(_DEFAULT)
+
+
+def set_default_execution(
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    batch_size: int | None = None,
+) -> None:
+    """Set process-wide execution defaults (CLI flags, benchmark env)."""
+    if jobs is not None:
+        _DEFAULT.jobs = int(jobs)
+    if use_cache is not None:
+        _DEFAULT.use_cache = bool(use_cache)
+    if batch_size is not None:
+        _DEFAULT.batch_size = int(batch_size)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: None -> default config, 0 or
+    negative -> one worker per available CPU."""
+    if jobs is None:
+        jobs = _DEFAULT.jobs
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# work units (module level: picklable by ProcessPoolExecutor)
+# ----------------------------------------------------------------------
+
+
+def _job_trace(platform: Platform, horizon: float, seed: int, index: int):
+    """Trace ``index`` of the scenario — a pure function of
+    ``(platform, horizon, seed, index)``, the determinism anchor."""
+    return generate_platform_traces(
+        platform.dist,
+        platform.num_nodes,
+        horizon,
+        downtime=platform.downtime,
+        seed=np.random.SeedSequence([int(seed), int(index)]),
+    ).for_job(platform.num_nodes)
+
+
+@dataclass
+class _TraceTask:
+    """Phase 1/3 unit: run ``policies`` over the traces in ``indices``."""
+
+    platform: Platform
+    work_time: float
+    horizon: float
+    t0: float
+    seed: int
+    indices: list[int]
+    policies: list
+    include_lower_bound: bool
+    max_makespan: float
+    use_cache: bool
+
+
+@dataclass
+class _TraceTaskResult:
+    indices: list[int]
+    # per policy name: list of (makespan, SimulationResult | None) in
+    # index order; None marks an infeasible (policy, trace) pair
+    per_policy: dict[str, list[tuple[float, object]]]
+    infeasible: dict[str, list[int]] = field(default_factory=dict)
+    lower_bound: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
+    configure_cache(enabled=task.use_cache)
+    before = cache_stats()
+    platform = task.platform
+    per_policy: dict[str, list[tuple[float, object]]] = {
+        p.name: [] for p in task.policies
+    }
+    infeasible: dict[str, list[int]] = {}
+    lower_bound: list[float] = []
+    for index in task.indices:
+        tr = _job_trace(platform, task.horizon, task.seed, index)
+        for policy in task.policies:
+            try:
+                res = simulate_job(
+                    policy,
+                    task.work_time,
+                    tr,
+                    platform.checkpoint,
+                    platform.recovery,
+                    platform.dist,
+                    t0=task.t0,
+                    platform_mtbf=platform.platform_mtbf,
+                    max_makespan=task.max_makespan,
+                )
+            except PolicyInfeasibleError:
+                per_policy[policy.name].append((math.nan, None))
+                infeasible.setdefault(policy.name, []).append(index)
+                continue
+            per_policy[policy.name].append((res.makespan, res))
+        if task.include_lower_bound:
+            lower_bound.append(
+                simulate_lower_bound(
+                    task.work_time,
+                    tr,
+                    platform.checkpoint,
+                    platform.recovery,
+                    t0=task.t0,
+                ).makespan
+            )
+    after = cache_stats()
+    return _TraceTaskResult(
+        indices=list(task.indices),
+        per_policy=per_policy,
+        infeasible=infeasible,
+        lower_bound=lower_bound,
+        cache_hits=after.hits - before.hits,
+        cache_misses=after.misses - before.misses,
+    )
+
+
+@dataclass
+class _PeriodTask:
+    """Phase 2 unit: mean makespan of each candidate period over the
+    search-subset traces."""
+
+    platform: Platform
+    work_time: float
+    horizon: float
+    t0: float
+    seed: int
+    subset_indices: list[int]
+    periods: list[float]
+    max_makespan: float
+    use_cache: bool
+
+
+def _run_period_task(task: _PeriodTask) -> tuple[list[float], int, int]:
+    configure_cache(enabled=task.use_cache)
+    before = cache_stats()
+    platform = task.platform
+    traces = [
+        _job_trace(platform, task.horizon, task.seed, i) for i in task.subset_indices
+    ]
+    means = []
+    for period in task.periods:
+        policy = PeriodicPolicy(period, name="PeriodCandidate")
+        spans = [
+            simulate_job(
+                policy,
+                task.work_time,
+                tr,
+                platform.checkpoint,
+                platform.recovery,
+                platform.dist,
+                t0=task.t0,
+                platform_mtbf=platform.platform_mtbf,
+                max_makespan=task.max_makespan,
+            ).makespan
+            for tr in traces
+        ]
+        means.append(float(np.mean(spans)))
+    after = cache_stats()
+    return means, after.hits - before.hits, after.misses - before.misses
+
+
+def _chunk(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+class ParallelRunner:
+    """Scenario executor: serial in process (``jobs=1``) or fanned out
+    over worker processes (``jobs>1``), with identical results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; None reads the process-wide default
+        (:func:`set_default_execution`), 0 or negative uses every CPU.
+    batch_size:
+        Trace indices per work unit; None splits the trace set into
+        about four units per worker.
+    use_cache:
+        Consult the shared DP table cache (None reads the default).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        use_cache: bool | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.batch_size = (
+            batch_size if batch_size is not None else _DEFAULT.batch_size
+        )
+        self.use_cache = (
+            _DEFAULT.use_cache if use_cache is None else bool(use_cache)
+        )
+
+    # -- internal dispatch ---------------------------------------------
+
+    def _map(self, fn, tasks: list):
+        """Run ``fn`` over ``tasks``, in process or on the pool; results
+        come back in task order either way."""
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [fn(t) for t in tasks]
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks))
+
+    def _trace_batches(self, indices: list[int]) -> list[list[int]]:
+        if self.batch_size is not None:
+            size = max(1, int(self.batch_size))
+        else:
+            size = max(1, math.ceil(len(indices) / max(1, self.jobs * 4)))
+        return _chunk(indices, size)
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        policies: list,
+        platform: Platform,
+        work_time: float,
+        n_traces: int,
+        horizon: float,
+        t0: float = 0.0,
+        seed=0,
+        include_lower_bound: bool = True,
+        include_period_lb: bool = True,
+        period_lb_factors=None,
+        period_lb_traces: int | None = None,
+        max_makespan: float = math.inf,
+    ):
+        """Run ``policies`` over ``n_traces`` generated traces; see
+        :func:`repro.simulation.runner.run_scenarios` for semantics."""
+        start = time.perf_counter()
+        prior_enabled = get_cache().enabled
+        configure_cache(enabled=self.use_cache)
+        try:
+            return self._run(
+                policies,
+                platform,
+                work_time,
+                n_traces,
+                horizon,
+                t0,
+                seed,
+                include_lower_bound,
+                include_period_lb,
+                period_lb_factors,
+                period_lb_traces,
+                max_makespan,
+                start,
+            )
+        finally:
+            configure_cache(enabled=prior_enabled)
+
+    def _run(
+        self,
+        policies,
+        platform,
+        work_time,
+        n_traces,
+        horizon,
+        t0,
+        seed,
+        include_lower_bound,
+        include_period_lb,
+        period_lb_factors,
+        period_lb_traces,
+        max_makespan,
+        start,
+    ):
+        # Imported here: runner imports this module's config helpers, so
+        # a module-level import would be circular.
+        from repro.simulation.runner import LOWER_BOUND, PERIOD_LB, ScenarioResult
+        from repro.simulation.runner import _optexp_period
+
+        hits = misses = 0
+
+        indices = list(range(n_traces))
+        tasks = [
+            _TraceTask(
+                platform=platform,
+                work_time=work_time,
+                horizon=horizon,
+                t0=t0,
+                seed=seed,
+                indices=batch,
+                policies=policies,
+                include_lower_bound=include_lower_bound,
+                max_makespan=max_makespan,
+                use_cache=self.use_cache,
+            )
+            for batch in self._trace_batches(indices)
+        ]
+        results = self._map(_run_trace_task, tasks)
+
+        makespans: dict[str, np.ndarray] = {
+            p.name: np.full(n_traces, np.nan) for p in policies
+        }
+        details: dict[str, list] = {p.name: [None] * n_traces for p in policies}
+        infeasible: dict[str, list[int]] = {}
+        lb_spans = np.full(n_traces, np.nan)
+        for res in results:
+            hits += res.cache_hits
+            misses += res.cache_misses
+            for name, pairs in res.per_policy.items():
+                for index, (span, det) in zip(res.indices, pairs):
+                    makespans[name][index] = span
+                    details[name][index] = det
+            for name, idxs in res.infeasible.items():
+                infeasible.setdefault(name, []).extend(idxs)
+            if res.lower_bound:
+                for index, span in zip(res.indices, res.lower_bound):
+                    lb_spans[index] = span
+        for name in infeasible:
+            infeasible[name].sort()
+        if include_lower_bound:
+            makespans[LOWER_BOUND] = lb_spans
+
+        best_period = math.nan
+        if include_period_lb:
+            from repro.policies.periodlb import candidate_factors
+
+            factors = (
+                period_lb_factors
+                if period_lb_factors is not None
+                else candidate_factors()
+            )
+            base = _optexp_period(platform, work_time)
+            periods = np.asarray(sorted(base * np.asarray(factors, dtype=float)))
+            subset = indices[: (period_lb_traces or n_traces)]
+            per_unit = max(
+                1, math.ceil(periods.size / max(1, self.jobs * 2))
+            )
+            period_tasks = [
+                _PeriodTask(
+                    platform=platform,
+                    work_time=work_time,
+                    horizon=horizon,
+                    t0=t0,
+                    seed=seed,
+                    subset_indices=subset,
+                    periods=batch,
+                    max_makespan=max_makespan,
+                    use_cache=self.use_cache,
+                )
+                for batch in _chunk(list(periods), per_unit)
+            ]
+            means: list[float] = []
+            for batch_means, h, m in self._map(_run_period_task, period_tasks):
+                means.extend(batch_means)
+                hits += h
+                misses += m
+            best = int(np.argmin(means))
+            best_period = float(periods[best])
+
+            winner_tasks = [
+                _TraceTask(
+                    platform=platform,
+                    work_time=work_time,
+                    horizon=horizon,
+                    t0=t0,
+                    seed=seed,
+                    indices=batch,
+                    policies=[PeriodicPolicy(best_period, name=PERIOD_LB)],
+                    include_lower_bound=False,
+                    max_makespan=max_makespan,
+                    use_cache=self.use_cache,
+                )
+                for batch in self._trace_batches(indices)
+            ]
+            lb_period_spans = np.full(n_traces, np.nan)
+            for res in self._map(_run_trace_task, winner_tasks):
+                hits += res.cache_hits
+                misses += res.cache_misses
+                for index, (span, _det) in zip(res.indices, res.per_policy[PERIOD_LB]):
+                    lb_period_spans[index] = span
+            makespans[PERIOD_LB] = lb_period_spans
+
+        return ScenarioResult(
+            makespans=makespans,
+            details=details,
+            work_time=work_time,
+            best_period=best_period,
+            infeasible=infeasible,
+            elapsed=time.perf_counter() - start,
+            n_jobs=self.jobs,
+            cache_hits=hits,
+            cache_misses=misses,
+        )

@@ -5,6 +5,13 @@ scenario, generate ``n_traces`` independent platform failure traces, run
 every heuristic on every trace, add the omniscient ``LowerBound`` and the
 searched ``PeriodLB``, and hand the per-trace makespans to
 :mod:`repro.analysis` for the degradation-from-best statistic.
+
+Execution is delegated to
+:class:`repro.simulation.parallel.ParallelRunner`: ``jobs=1`` runs the
+work units in process, ``jobs>1`` fans them out over worker processes
+with bit-identical results (trace ``i`` is always generated from
+``SeedSequence([seed, i])``, independent of batching).  Solved DP tables
+are shared through :mod:`repro.core.cache` unless ``use_cache=False``.
 """
 
 from __future__ import annotations
@@ -16,10 +23,8 @@ import numpy as np
 
 from repro.cluster.models import Platform
 from repro.core.theory import optimal_num_chunks
-from repro.policies.base import PeriodicPolicy, Policy, PolicyInfeasibleError
-from repro.simulation.engine import simulate_job, simulate_lower_bound
+from repro.policies.base import Policy
 from repro.simulation.results import SimulationResult
-from repro.traces.generation import generate_platform_traces
 
 __all__ = ["ScenarioResult", "run_scenarios"]
 
@@ -29,12 +34,45 @@ PERIOD_LB = "PeriodLB"
 
 @dataclass
 class ScenarioResult:
-    """Per-policy, per-trace outcomes of one experimental scenario."""
+    """Per-policy, per-trace outcomes of one experimental scenario.
+
+    Attributes
+    ----------
+    makespans:
+        Per policy name, the per-trace makespans (``NaN`` where the
+        policy was infeasible on that trace).
+    details:
+        Per policy name, the per-trace :class:`SimulationResult` records
+        (``None`` for infeasible pairs); not recorded for the synthetic
+        ``LowerBound`` / ``PeriodLB`` entries.
+    infeasible:
+        Per policy name, the sorted trace indices on which the policy
+        raised :class:`~repro.policies.base.PolicyInfeasibleError`
+        (e.g. Liu on large Weibull platforms).  Policies that were
+        always feasible do not appear.  Serial and parallel execution
+        record identical entries.
+    work_time:
+        The failure-free execution time ``W(p)`` of the scenario.
+    best_period:
+        The winning PeriodLB period (``NaN`` when the search was off).
+    elapsed:
+        Wall-clock seconds spent executing the scenario.
+    n_jobs:
+        Worker processes used (1 = in-process serial).
+    cache_hits / cache_misses:
+        DP-table cache lookups observed during the run, aggregated over
+        all workers (see :mod:`repro.core.cache`).
+    """
 
     makespans: dict[str, np.ndarray]
     details: dict[str, list[SimulationResult]] = field(default_factory=dict)
     work_time: float = math.nan
     best_period: float = math.nan
+    infeasible: dict[str, list[int]] = field(default_factory=dict)
+    elapsed: float = math.nan
+    n_jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def policy_names(self) -> list[str]:
         """Every recorded policy, including LowerBound/PeriodLB."""
@@ -60,110 +98,41 @@ def run_scenarios(
     period_lb_factors=None,
     period_lb_traces: int | None = None,
     max_makespan: float = math.inf,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    batch_size: int | None = None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
 
     Traces are generated per scenario index with seeds derived from
-    ``seed`` so the whole experiment is reproducible; infeasible policies
-    (e.g. Liu on large Weibull platforms) record ``NaN`` makespans.
+    ``seed`` so the whole experiment is reproducible; infeasible
+    policies (e.g. Liu on large Weibull platforms) record ``NaN``
+    makespans *and* are listed in ``ScenarioResult.infeasible``.
+
+    ``jobs`` selects the execution mode: 1 runs serially in process,
+    ``N > 1`` fans (policy, trace-batch) work units out over ``N``
+    worker processes, 0 or negative uses every CPU, and ``None`` reads
+    the process-wide default
+    (:func:`repro.simulation.parallel.set_default_execution`).  Per-trace
+    results are bit-identical across all modes.  ``use_cache=False``
+    bypasses the shared DP table cache.
     """
-    n_units = platform.num_nodes
-    job_traces = []
-    for i in range(n_traces):
-        plat_traces = generate_platform_traces(
-            platform.dist,
-            n_units,
-            horizon,
-            downtime=platform.downtime,
-            seed=np.random.SeedSequence([int(seed), i]),
-        )
-        job_traces.append(plat_traces.for_job(n_units))
+    # Imported here: parallel drives the engine and policies, so a
+    # module-level import would be circular through the package inits.
+    from repro.simulation.parallel import ParallelRunner
 
-    makespans: dict[str, np.ndarray] = {}
-    details: dict[str, list[SimulationResult]] = {}
-
-    for policy in policies:
-        spans = np.full(n_traces, np.nan)
-        dets: list[SimulationResult] = []
-        for i, tr in enumerate(job_traces):
-            try:
-                res = simulate_job(
-                    policy,
-                    work_time,
-                    tr,
-                    platform.checkpoint,
-                    platform.recovery,
-                    platform.dist,
-                    t0=t0,
-                    platform_mtbf=platform.platform_mtbf,
-                    max_makespan=max_makespan,
-                )
-            except PolicyInfeasibleError:
-                dets.append(None)
-                continue
-            spans[i] = res.makespan
-            dets.append(res)
-        makespans[policy.name] = spans
-        details[policy.name] = dets
-
-    if include_lower_bound:
-        spans = np.array(
-            [
-                simulate_lower_bound(
-                    work_time, tr, platform.checkpoint, platform.recovery, t0=t0
-                ).makespan
-                for tr in job_traces
-            ]
-        )
-        makespans[LOWER_BOUND] = spans
-
-    best_period = math.nan
-    if include_period_lb:
-        # Imported here: periodlb drives the engine, so a module-level
-        # import would be circular through the package __init__s.
-        from repro.policies.periodlb import best_period_search, candidate_factors
-
-        base = _optexp_period(platform, work_time)
-        subset = job_traces[: (period_lb_traces or n_traces)]
-        search = best_period_search(
-            base,
-            work_time,
-            subset,
-            platform.checkpoint,
-            platform.recovery,
-            platform.dist,
-            t0=t0,
-            platform_mtbf=platform.platform_mtbf,
-            factors=(
-                period_lb_factors
-                if period_lb_factors is not None
-                else candidate_factors()
-            ),
-            max_makespan=max_makespan,
-        )
-        best_period = search.best_period
-        policy = PeriodicPolicy(best_period, name=PERIOD_LB)
-        spans = np.array(
-            [
-                simulate_job(
-                    policy,
-                    work_time,
-                    tr,
-                    platform.checkpoint,
-                    platform.recovery,
-                    platform.dist,
-                    t0=t0,
-                    platform_mtbf=platform.platform_mtbf,
-                    max_makespan=max_makespan,
-                ).makespan
-                for tr in job_traces
-            ]
-        )
-        makespans[PERIOD_LB] = spans
-
-    return ScenarioResult(
-        makespans=makespans,
-        details=details,
-        work_time=work_time,
-        best_period=best_period,
+    runner = ParallelRunner(jobs=jobs, batch_size=batch_size, use_cache=use_cache)
+    return runner.run(
+        policies,
+        platform,
+        work_time,
+        n_traces=n_traces,
+        horizon=horizon,
+        t0=t0,
+        seed=seed,
+        include_lower_bound=include_lower_bound,
+        include_period_lb=include_period_lb,
+        period_lb_factors=period_lb_factors,
+        period_lb_traces=period_lb_traces,
+        max_makespan=max_makespan,
     )

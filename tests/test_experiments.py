@@ -60,6 +60,7 @@ class TestScaling:
         assert "DPNextFailure" in series
         assert all(len(v) == 2 for v in series.values())
 
+    @pytest.mark.slow
     def test_exponential_includes_dpmakespan(self):
         r = run_scaling_experiment("peta", "exponential", scale=TINY)
         assert "DPMakespan" in r.series()
@@ -90,6 +91,7 @@ class TestSweeps:
             assert s.avg >= 1.0 - 1e-9
         assert "Young" in r.heuristics
 
+    @pytest.mark.slow
     def test_logbased(self):
         r = run_logbased_experiment(cluster=19, scale=TINY)
         assert len(r.p_values) == 2

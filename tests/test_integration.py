@@ -85,6 +85,7 @@ def weibull_platform_runs():
     return {k: np.asarray(v) for k, v in spans.items()}
 
 
+@pytest.mark.slow
 class TestTable4Shape:
     def test_dpnextfailure_beats_periodic_heuristics(self, weibull_platform_runs):
         s = weibull_platform_runs

@@ -1,0 +1,184 @@
+"""Parallel scenario runner: determinism, infeasibility recording,
+execution configuration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.models import ConstantOverhead, Platform
+from repro.distributions import Exponential, Weibull
+from repro.policies import DPMakespanPolicy, DPNextFailurePolicy, Liu, OptExp, Young
+from repro.simulation.parallel import (
+    ExecutionConfig,
+    ParallelRunner,
+    get_default_execution,
+    resolve_jobs,
+    set_default_execution,
+)
+from repro.simulation.runner import LOWER_BOUND, PERIOD_LB, run_scenarios
+from repro.units import DAY, HOUR
+
+
+def _platform(dist):
+    return Platform(p=4, dist=dist, downtime=60.0, overhead=ConstantOverhead(600.0))
+
+
+def _run(policies, platform, **kw):
+    base = dict(
+        work_time=DAY,
+        n_traces=6,
+        horizon=200 * DAY,
+        seed=7,
+        period_lb_factors=[0.5, 1.0, 2.0],
+    )
+    base.update(kw)
+    return run_scenarios(policies, platform, **base)
+
+
+class TestDeterminism:
+    def test_parallel_bit_identical_to_serial(self):
+        """The acceptance gate: fixed seed, jobs=4 vs jobs=1, identical
+        per-trace makespans for every policy including the DP ones."""
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        policies = lambda: [Young(), OptExp(), DPNextFailurePolicy(n_grid=32)]
+        serial = _run(policies(), platform, jobs=1)
+        parallel = _run(policies(), platform, jobs=4)
+        assert set(serial.makespans) == set(parallel.makespans)
+        for name in serial.makespans:
+            assert np.array_equal(
+                serial.makespans[name], parallel.makespans[name], equal_nan=True
+            ), name
+        assert serial.best_period == parallel.best_period
+
+    def test_batch_size_does_not_change_results(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        a = _run([Young()], platform, jobs=1, batch_size=1)
+        b = _run([Young()], platform, jobs=1, batch_size=4)
+        assert np.array_equal(a.makespans["Young"], b.makespans["Young"])
+
+    def test_no_cache_does_not_change_results(self):
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        a = _run([DPMakespanPolicy(n_grid=48)], platform, jobs=1, use_cache=True)
+        b = _run([DPMakespanPolicy(n_grid=48)], platform, jobs=1, use_cache=False)
+        assert np.array_equal(
+            a.makespans["DPMakespan"], b.makespans["DPMakespan"], equal_nan=True
+        )
+
+    def test_period_lb_winner_matches_serial(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        serial = _run([Young()], platform, jobs=1)
+        parallel = _run([Young()], platform, jobs=3)
+        assert serial.best_period == parallel.best_period
+        assert np.array_equal(
+            serial.makespans[PERIOD_LB], parallel.makespans[PERIOD_LB]
+        )
+
+
+class TestResultStructure:
+    def test_all_entries_present(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        res = _run([Young(), OptExp()], platform)
+        assert set(res.makespans) == {"Young", "OptExp", LOWER_BOUND, PERIOD_LB}
+        for spans in res.makespans.values():
+            assert spans.shape == (6,)
+
+    def test_details_in_trace_order(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        res = _run([Young()], platform, jobs=2)
+        dets = res.details["Young"]
+        assert len(dets) == 6
+        assert [d.makespan for d in dets] == list(res.makespans["Young"])
+
+    def test_timing_and_jobs_recorded(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        res = _run([Young()], platform, jobs=2)
+        assert res.n_jobs == 2
+        assert res.elapsed > 0
+
+    def test_cache_counters_surface(self):
+        from repro.core.cache import clear_cache
+
+        clear_cache()
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        res = _run(
+            [DPMakespanPolicy(n_grid=48)],
+            platform,
+            jobs=1,
+            include_period_lb=False,
+        )
+        # one DP solve, then one hit per remaining trace
+        assert res.cache_misses >= 1
+        assert res.cache_hits >= res.makespans["DPMakespan"].size - 1
+
+
+class TestInfeasibleRecording:
+    def test_liu_infeasible_recorded_not_swallowed(self):
+        """Liu is infeasible on large decreasing-hazard platforms: the
+        runner must record which traces failed, identically on both
+        execution paths, instead of silently leaving NaN."""
+        platform = Platform(
+            p=64,
+            dist=Weibull.from_mtbf(30 * DAY, 0.3),
+            downtime=60.0,
+            overhead=ConstantOverhead(600.0),
+        )
+        kw = dict(
+            work_time=0.5 * DAY,
+            n_traces=3,
+            horizon=60 * DAY,
+            seed=3,
+            include_period_lb=False,
+            max_makespan=50 * 0.5 * DAY,
+        )
+        serial = run_scenarios([Liu(), Young()], platform, jobs=1, **kw)
+        assert "Liu" in serial.infeasible
+        assert serial.infeasible["Liu"] == [0, 1, 2]
+        assert np.all(np.isnan(serial.makespans["Liu"]))
+        assert "Young" not in serial.infeasible
+
+        parallel = run_scenarios([Liu(), Young()], platform, jobs=2, **kw)
+        assert parallel.infeasible == serial.infeasible
+
+    def test_feasible_scenario_has_empty_infeasible(self):
+        platform = _platform(Exponential.from_mtbf(12 * HOUR))
+        res = _run([Young()], platform, include_period_lb=False)
+        assert res.infeasible == {}
+
+
+class TestExecutionConfig:
+    def test_default_roundtrip(self):
+        original = get_default_execution()
+        try:
+            set_default_execution(jobs=3, use_cache=False)
+            cfg = get_default_execution()
+            assert cfg.jobs == 3 and cfg.use_cache is False
+            runner = ParallelRunner()
+            assert runner.jobs == 3 and runner.use_cache is False
+        finally:
+            set_default_execution(
+                jobs=original.jobs,
+                use_cache=original.use_cache,
+            )
+
+    def test_resolve_jobs(self):
+        import os
+
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_explicit_args_override_default(self):
+        original = get_default_execution()
+        try:
+            set_default_execution(jobs=4, use_cache=False)
+            runner = ParallelRunner(jobs=1, use_cache=True)
+            assert runner.jobs == 1 and runner.use_cache is True
+        finally:
+            set_default_execution(
+                jobs=original.jobs,
+                use_cache=original.use_cache,
+            )
+
+    def test_config_dataclass_defaults(self):
+        cfg = ExecutionConfig()
+        assert cfg.jobs == 1 and cfg.use_cache is True and cfg.batch_size is None

@@ -30,7 +30,9 @@ def test_engine_invariants_hold_on_random_traces(seed, period, mtbf, k):
     tr = generate_platform_traces(dist, 2, horizon, downtime=d, seed=seed).for_job(2)
     res = simulate_job(PeriodicPolicy(period), work, tr, c, r, dist)
     assert res.completed
-    n_chunks = int(np.ceil(work / period))
+    # tolerate work/period landing a hair above an integer (the engine
+    # rightly skips a residual chunk of ~1e-10 work)
+    n_chunks = int(np.ceil(work / period * (1 - 1e-12)))
     assert res.makespan >= work + n_chunks * c - 1e-6
     lb = simulate_lower_bound(work, tr, c, r)
     assert lb.makespan <= res.makespan + 1e-6
