@@ -1,7 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench-smoke verify
+.PHONY: lint test test-fast bench-smoke verify
+
+# Static analysis.  reprolint (stdlib-only, part of this package) always
+# runs: the full rule set on src/, and the determinism/hygiene/discipline
+# rules on tests/ (R2/R3 literal rules are relaxed for test code).
+# ruff and mypy run only where installed — CI installs both.
+lint:
+	$(PYTHON) -m repro lint src
+	$(PYTHON) -m repro lint tests --select R1,R4,R5
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed -- skipping (CI runs it)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed -- skipping (CI runs it)"; \
+	fi
 
 # Full tier-1 suite.
 test:
@@ -20,4 +38,4 @@ bench-smoke:
 		$(PYTHON) -m pytest benchmarks/bench_fig2_peta_exp.py --benchmark-only -q
 
 # What CI / pre-merge should run.
-verify: test-fast bench-smoke
+verify: lint test-fast bench-smoke

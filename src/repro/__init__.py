@@ -24,6 +24,8 @@ The package provides:
 - :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
+from __future__ import annotations
+
 from repro._version import __version__
 
 __all__ = ["__version__"]

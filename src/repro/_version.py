@@ -1,3 +1,5 @@
 """Single source of truth for the package version."""
 
+from __future__ import annotations
+
 __version__ = "1.0.0"

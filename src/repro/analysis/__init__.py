@@ -1,5 +1,7 @@
 """Result analysis: degradation statistics and rejuvenation analytics."""
 
+from __future__ import annotations
+
 from repro.analysis.degradation import DegradationStats, degradation_from_best
 from repro.analysis.rejuvenation import (
     estimate_platform_mtbf_mc,

@@ -6,6 +6,7 @@ Subcommands:
 - ``repro simulate``    — simulate a policy over generated failure traces.
 - ``repro experiment``  — run a paper table/figure driver and print it.
 - ``repro mtbf``        — Figure-1 rejuvenation MTBF numbers.
+- ``repro lint``        — reprolint static analysis (see docs/development.md).
 
 Durations accept suffixes: ``s`` (default), ``m``, ``h``, ``d``, ``w``,
 ``y`` — e.g. ``--work 20d --mtbf 1w --checkpoint 600``.
@@ -53,7 +54,7 @@ def parse_duration(text: str) -> float:
     return value * mult
 
 
-def _make_dist(args):
+def _make_dist(args: argparse.Namespace):
     from repro.distributions import Exponential, Weibull
 
     if args.dist == "exponential":
@@ -61,7 +62,7 @@ def _make_dist(args):
     return Weibull.from_mtbf(args.mtbf, args.shape)
 
 
-def _make_policy(name: str, args):
+def _make_policy(name: str, args: argparse.Namespace):
     from repro.policies import (
         Bouguerra,
         DalyHigh,
@@ -96,7 +97,7 @@ def _make_policy(name: str, args):
 # ----------------------------------------------------------------------
 
 
-def cmd_plan(args) -> int:
+def cmd_plan(args: argparse.Namespace) -> int:
     from repro.core import expected_makespan_optimal
 
     plan = expected_makespan_optimal(
@@ -111,7 +112,7 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def cmd_simulate(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.policies.base import PolicyInfeasibleError
@@ -121,7 +122,8 @@ def cmd_simulate(args) -> int:
     _apply_execution_flags(args)
     dist = _make_dist(args)
     mtbf_platform = (dist.mean() + args.downtime) / args.units
-    horizon = 60.0 * args.work / args.units + args.mtbf
+    # the 60x on per-processor work is a horizon budget, not a minute
+    horizon = 60.0 * args.work / args.units + args.mtbf  # reprolint: disable=R2
     spans, fails = [], []
     for i in range(args.traces):
         tr = generate_platform_traces(
@@ -172,7 +174,7 @@ _EXPERIMENTS = (
 )
 
 
-def cmd_experiment(args) -> int:
+def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import ascii_chart, format_degradation_table, format_series
     from repro.experiments import MEDIUM, SMALL, SMOKE
     from repro.units import DAY as _DAY
@@ -248,7 +250,30 @@ def cmd_experiment(args) -> int:
     return 0
 
 
-def cmd_mtbf(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:16s} {rule.description}")
+        return 0
+    paths = args.paths or ["src"]
+    select = args.select.split(",") if args.select else None
+    try:
+        diags = lint_paths(paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for d in diags:
+        print(d.render())
+    if diags:
+        n = len(diags)
+        print(f"\n{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_mtbf(args: argparse.Namespace) -> int:
     from repro.analysis import (
         platform_mtbf_all_rejuvenation,
         platform_mtbf_single_rejuvenation,
@@ -280,7 +305,7 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                    help="bypass the shared DP table cache")
 
 
-def _apply_execution_flags(args) -> None:
+def _apply_execution_flags(args: argparse.Namespace) -> None:
     """Install --jobs/--no-cache as the process-wide execution default
     so every driver underneath the command inherits them."""
     from repro.simulation.parallel import set_default_execution
@@ -343,6 +368,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
+    p_lint = sub.add_parser("lint", help="run reprolint static analysis")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src)")
+    p_lint.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule codes/names "
+                             "(e.g. R1,unit-safety); default: all")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.set_defaults(func=cmd_lint)
+
     p_mtbf = sub.add_parser("mtbf", help="Figure-1 rejuvenation analytics")
     p_mtbf.add_argument("--p", type=int, default=45_208)
     p_mtbf.add_argument("--shape", "-k", type=float, default=0.7)
@@ -353,7 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)

@@ -1,5 +1,7 @@
 """Platform and application models (Section 3.1 / Table 1)."""
 
+from __future__ import annotations
+
 from repro.cluster.models import (
     AmdahlLaw,
     ConstantOverhead,

@@ -110,8 +110,8 @@ class PlatformPreset:
 SINGLE_PROC = PlatformPreset(
     name="one-processor",
     ptotal=1,
-    downtime=60.0,
-    overhead_seconds=600.0,
+    downtime=MINUTE,
+    overhead_seconds=10 * MINUTE,
     processor_mtbf=DAY,
     work=20 * DAY,
     horizon=YEAR,
@@ -122,7 +122,7 @@ PETASCALE = PlatformPreset(
     name="petascale-jaguar",
     ptotal=45_208,
     downtime=MINUTE,
-    overhead_seconds=600.0,
+    overhead_seconds=10 * MINUTE,
     processor_mtbf=125 * YEAR,
     work=1_000 * YEAR,
     horizon=11 * YEAR,
@@ -133,7 +133,7 @@ EXASCALE = PlatformPreset(
     name="exascale",
     ptotal=2**20,
     downtime=MINUTE,
-    overhead_seconds=600.0,
+    overhead_seconds=10 * MINUTE,
     processor_mtbf=1_250 * YEAR,
     work=10_000 * YEAR,
     horizon=11 * YEAR,

@@ -16,6 +16,8 @@
   tables keyed on the exact scenario parameters.
 """
 
+from __future__ import annotations
+
 from repro.core.lambert import lambert_w
 from repro.core.theory import (
     expected_makespan_optimal,

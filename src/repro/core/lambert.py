@@ -37,7 +37,9 @@ def _initial_guess(z: np.ndarray) -> np.ndarray:
     return guess
 
 
-def lambert_w(z, tol: float = 1e-14, max_iter: int = 64):
+def lambert_w(
+    z: float | np.ndarray, tol: float = 1e-14, max_iter: int = 64
+) -> float | np.ndarray:
     """Principal-branch Lambert W for real ``z >= -1/e``.
 
     Scalar or array input; raises ``ValueError`` below the branch point.

@@ -106,7 +106,8 @@ class PlatformState:
 
         and every remaining processor is mapped to the nearest reference.
         """
-        if self.weights is not None and not np.all(self.weights == 1.0):
+        # weights are exactly 1.0 by construction for uncompressed states
+        if self.weights is not None and not np.all(self.weights == 1.0):  # reprolint: disable=R3
             raise ValueError("can only compress an uncompressed state")
         p = self.taus.size
         if p <= nexact + napprox:

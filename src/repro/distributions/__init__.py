@@ -14,6 +14,8 @@ closed-form optima and the discrete-event simulator can all share one
 interface.
 """
 
+from __future__ import annotations
+
 from repro.distributions.base import FailureDistribution
 from repro.distributions.exponential import Exponential
 from repro.distributions.weibull import Weibull

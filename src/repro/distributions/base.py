@@ -6,7 +6,13 @@ import abc
 
 import numpy as np
 
-__all__ = ["FailureDistribution"]
+__all__ = ["FailureDistribution", "FloatOrArray", "SampleSize"]
+
+# Methods broadcast: scalars in -> float out, arrays in -> arrays out.
+FloatOrArray = float | np.ndarray
+# numpy ``size`` argument: None for a scalar draw, int or shape tuple
+# for an array of draws.
+SampleSize = int | tuple[int, ...] | None
 
 
 class FailureDistribution(abc.ABC):
@@ -25,15 +31,15 @@ class FailureDistribution(abc.ABC):
     # ------------------------------------------------------------------
 
     @abc.abstractmethod
-    def sf(self, t):
+    def sf(self, t: FloatOrArray) -> FloatOrArray:
         """Survival function ``P(X >= t)``."""
 
     @abc.abstractmethod
-    def logsf(self, t):
+    def logsf(self, t: FloatOrArray) -> FloatOrArray:
         """``log P(X >= t)``, stable for large ``t``."""
 
     @abc.abstractmethod
-    def pdf(self, t):
+    def pdf(self, t: FloatOrArray) -> FloatOrArray:
         """Probability density of ``X`` at ``t``."""
 
     @abc.abstractmethod
@@ -41,25 +47,27 @@ class FailureDistribution(abc.ABC):
         """``E[X]``."""
 
     @abc.abstractmethod
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         """Draw iid samples of ``X``."""
 
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
 
-    def cdf(self, t):
+    def cdf(self, t: FloatOrArray) -> FloatOrArray:
         """``P(X < t)``."""
         return 1.0 - self.sf(t)
 
-    def hazard(self, t):
+    def hazard(self, t: FloatOrArray) -> FloatOrArray:
         """Instantaneous failure rate ``pdf(t) / sf(t)``."""
         t = np.asarray(t, dtype=float)
         sf = self.sf(t)
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(sf > 0, self.pdf(t) / sf, np.inf)
 
-    def psuc(self, x, tau=0.0):
+    def psuc(self, x: FloatOrArray, tau: FloatOrArray = 0.0) -> FloatOrArray:
         """Conditional survival ``P(X >= tau + x | X >= tau)``.
 
         This is the paper's ``Psuc(x | tau)``: the probability that a
@@ -68,13 +76,13 @@ class FailureDistribution(abc.ABC):
         """
         return np.exp(self.log_psuc(x, tau))
 
-    def log_psuc(self, x, tau=0.0):
+    def log_psuc(self, x: FloatOrArray, tau: FloatOrArray = 0.0) -> FloatOrArray:
         """``log Psuc(x | tau)`` computed stably via :meth:`logsf`."""
         x = np.asarray(x, dtype=float)
         tau = np.asarray(tau, dtype=float)
         return self.logsf(tau + x) - self.logsf(tau)
 
-    def quantile(self, q):
+    def quantile(self, q: FloatOrArray) -> FloatOrArray:
         """Generic quantile by bisection on the cdf.
 
         ``q`` may be scalar or array; values must lie in ``[0, 1)``.
@@ -99,7 +107,9 @@ class FailureDistribution(abc.ABC):
         out = 0.5 * (lo + hi)
         return out if out.size > 1 else float(out[0])
 
-    def expected_tlost(self, x, tau=0.0, n_points: int = 257):
+    def expected_tlost(
+        self, x: float, tau: float = 0.0, n_points: int = 257
+    ) -> float:
         """``E[Tlost(x | tau)]``: expected compute time before the failure,
         given that the failure strikes within the next ``x`` time units and
         the lifetime started ``tau`` ago.
@@ -134,7 +144,9 @@ class FailureDistribution(abc.ABC):
     # misc
     # ------------------------------------------------------------------
 
-    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+    def sample_conditional(
+        self, rng: np.random.Generator, tau: FloatOrArray, size: SampleSize = None
+    ) -> FloatOrArray:
         """Sample ``X - tau`` given ``X >= tau`` (remaining lifetime).
 
         Generic implementation via inverse-cdf on the conditional law:
@@ -147,7 +159,7 @@ class FailureDistribution(abc.ABC):
         target = s_tau * (1.0 - u)
         return self.quantile(1.0 - target) - tau
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[object, ...]:
         """Hashable identity used by :mod:`repro.core.cache`.
 
         Must distinguish any two distributions that ever answer a

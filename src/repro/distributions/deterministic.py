@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["Deterministic"]
 
@@ -42,7 +42,9 @@ class Deterministic(FailureDistribution):
     def mean(self) -> float:
         return self.period
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         if size is None:
             return self.period
         return np.full(size, self.period)
@@ -59,7 +61,9 @@ class Deterministic(FailureDistribution):
             return self.period - tau
         return 0.0
 
-    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+    def sample_conditional(
+        self, rng: np.random.Generator, tau: FloatOrArray, size: SampleSize = None
+    ) -> FloatOrArray:
         rem = max(self.period - tau, 0.0)
         if size is None:
             return rem

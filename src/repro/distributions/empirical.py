@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["Empirical"]
 
@@ -70,7 +70,9 @@ class Empirical(FailureDistribution):
     def mean(self) -> float:
         return float(self.durations.mean())
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         """Sample uniformly among logged durations (iid bootstrap)."""
         idx = rng.integers(0, self.n, size=size)
         return self.durations[idx]
@@ -91,7 +93,9 @@ class Empirical(FailureDistribution):
         with np.errstate(divide="ignore"):
             return np.log(self.psuc(x, tau))
 
-    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+    def sample_conditional(
+        self, rng: np.random.Generator, tau: FloatOrArray, size: SampleSize = None
+    ) -> FloatOrArray:
         """Sample remaining lifetime given age ``tau``: uniform among
         logged durations ``>= tau``, minus ``tau``.
         """

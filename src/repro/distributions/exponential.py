@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["Exponential"]
 
@@ -46,7 +46,9 @@ class Exponential(FailureDistribution):
     def mean(self) -> float:
         return 1.0 / self.lam
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         return rng.exponential(scale=1.0 / self.lam, size=size)
 
     # -- closed forms --------------------------------------------------
@@ -74,7 +76,9 @@ class Exponential(FailureDistribution):
             return x / 2.0
         return 1.0 / self.lam - x / math.expm1(lx)
 
-    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+    def sample_conditional(
+        self, rng: np.random.Generator, tau: FloatOrArray, size: SampleSize = None
+    ) -> FloatOrArray:
         # Memoryless: remaining lifetime is Exponential(lam) again.
         return rng.exponential(scale=1.0 / self.lam, size=size)
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import special
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["Gamma"]
 
@@ -54,7 +54,9 @@ class Gamma(FailureDistribution):
     def mean(self) -> float:
         return self.k * self.theta
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         return rng.gamma(self.k, self.theta, size=size)
 
     def quantile(self, q):

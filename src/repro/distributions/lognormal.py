@@ -7,7 +7,7 @@ import math
 import numpy as np
 from scipy import special
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["LogNormal"]
 
@@ -56,7 +56,9 @@ class LogNormal(FailureDistribution):
     def mean(self) -> float:
         return math.exp(self.mu + self.sigma * self.sigma / 2.0)
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         return rng.lognormal(self.mu, self.sigma, size=size)
 
     def quantile(self, q):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["MinOfIID"]
 
@@ -65,7 +65,9 @@ class MinOfIID(FailureDistribution):
 
         return float(simpson(self.sf(ts), x=ts))
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         """Inverse-cdf sampling (O(1) in ``p``)."""
         return self.quantile(rng.random(size))
 

@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-from repro.distributions.base import FailureDistribution
+from repro.distributions.base import FailureDistribution, FloatOrArray, SampleSize
 
 __all__ = ["Weibull"]
 
@@ -56,7 +56,9 @@ class Weibull(FailureDistribution):
     def mean(self) -> float:
         return self.lam * math.gamma(1.0 + 1.0 / self.k)
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleSize = None
+    ) -> FloatOrArray:
         return self.lam * rng.weibull(self.k, size=size)
 
     # -- closed forms --------------------------------------------------
@@ -71,7 +73,9 @@ class Weibull(FailureDistribution):
         tpos = np.maximum(t, 1e-300)
         return (self.k / self.lam) * np.power(tpos / self.lam, self.k - 1.0)
 
-    def sample_conditional(self, rng: np.random.Generator, tau, size=None):
+    def sample_conditional(
+        self, rng: np.random.Generator, tau: FloatOrArray, size: SampleSize = None
+    ) -> FloatOrArray:
         """Remaining lifetime given age ``tau``, by inverting the
         conditional survival in closed form:
 

@@ -7,6 +7,8 @@ CI).  Drivers return plain data structures; the benchmark harness in
 ``benchmarks/`` renders them as the paper's rows/series.
 """
 
+from __future__ import annotations
+
 from repro.experiments.config import (
     MEDIUM,
     PAPER,

@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -21,9 +22,11 @@ from repro.core.dp_nextfailure import (
 from repro.core.state import PlatformState
 from repro.core.theory import expected_makespan_optimal
 from repro.distributions import Exponential, Weibull
+from repro.distributions.base import FailureDistribution
 from repro.policies import OptExp
 from repro.simulation.engine import simulate_job
 from repro.traces.generation import generate_platform_traces
+from repro.units import DAY, MINUTE, YEAR
 
 __all__ = [
     "StateApproxResult",
@@ -40,7 +43,9 @@ class StateApproxResult:
     relative_errors: np.ndarray  # |Psuc_approx - Psuc_exact| / Psuc_exact
 
 
-def _steady_state_ages(dist, p: int, warmup: float, seed=0) -> np.ndarray:
+def _steady_state_ages(
+    dist: FailureDistribution, p: int, warmup: float, seed: int = 0
+) -> np.ndarray:
     """Ages of p processors after running (and renewing) for ``warmup``."""
     rng = np.random.default_rng(seed)
     ages = np.empty(p)
@@ -57,12 +62,12 @@ def _steady_state_ages(dist, p: int, warmup: float, seed=0) -> np.ndarray:
 
 def state_approx_precision(
     p: int = 4096,
-    mtbf: float = 125 * 365 * 86400.0,
+    mtbf: float = 125 * YEAR,
     shape: float = 0.7,
-    warmup: float = 365 * 86400.0,
+    warmup: float = YEAR,
     nexact: int = 10,
     napprox: int = 100,
-    exponents=range(0, 7),
+    exponents: Iterable[int] = range(0, 7),
     seed: int = 0,
 ) -> StateApproxResult:
     """Relative error of the compressed state's success probability for
@@ -86,7 +91,7 @@ def quantum_sensitivity(
     work: float,
     checkpoint: float,
     state: PlatformState,
-    grids=(24, 48, 96, 192),
+    grids: tuple[int, ...] = (24, 48, 96, 192),
 ) -> dict[int, float]:
     """Optimal E[work-before-failure] as the DP grid refines.
 
@@ -106,7 +111,7 @@ def truncation_study(
     state: PlatformState,
     mtbf_platform: float,
     n_grid: int = 96,
-    factors=(0.5, 1.0, 2.0, 4.0),
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
 ) -> dict[float, float]:
     """Compare the per-unit-work value of truncated plans: the DP run on
     ``factor x MTBF`` of work, scored exactly, normalized by the planned
@@ -120,11 +125,11 @@ def truncation_study(
 
 
 def theory_vs_simulation(
-    mtbf: float = 86400.0,
-    work: float = 20 * 86400.0,
-    checkpoint: float = 600.0,
-    downtime: float = 60.0,
-    recovery: float = 600.0,
+    mtbf: float = DAY,
+    work: float = 20 * DAY,
+    checkpoint: float = 10 * MINUTE,
+    downtime: float = MINUTE,
+    recovery: float = 10 * MINUTE,
     n_traces: int = 200,
     seed: int = 0,
 ) -> tuple[float, float, float]:

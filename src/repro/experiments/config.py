@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units import DAY, HOUR
+
 __all__ = ["ExperimentScale", "SMOKE", "SMALL", "MEDIUM", "PAPER"]
 
 
@@ -72,7 +74,7 @@ SMOKE = ExperimentScale(
     period_lb_geometric=3,
     period_lb_traces=2,
     dp_n_grid=48,
-    single_proc_work=12 * 3600.0,
+    single_proc_work=12 * HOUR,
 )
 
 SMALL = ExperimentScale(
@@ -85,7 +87,7 @@ SMALL = ExperimentScale(
     period_lb_geometric=6,
     period_lb_traces=10,
     dp_n_grid=96,
-    single_proc_work=2 * 86400.0,
+    single_proc_work=2 * DAY,
 )
 
 MEDIUM = ExperimentScale(
@@ -98,7 +100,7 @@ MEDIUM = ExperimentScale(
     period_lb_geometric=8,
     period_lb_traces=30,
     dp_n_grid=128,
-    single_proc_work=4 * 86400.0,
+    single_proc_work=4 * DAY,
 )
 
 PAPER = ExperimentScale(
@@ -111,5 +113,5 @@ PAPER = ExperimentScale(
     period_lb_geometric=60,
     period_lb_traces=1000,
     dp_n_grid=160,
-    single_proc_work=20 * 86400.0,
+    single_proc_work=20 * DAY,
 )

@@ -56,8 +56,8 @@ def run_optimal_enrollment(
     optimum inside the machine for the communication-bound profiles.
     """
     preset = make_preset("peta", scale)
-    if mtbf_factor != 1.0:
-        preset = preset.with_mtbf(preset.processor_mtbf * mtbf_factor)
+    # multiplying by the default 1.0 is IEEE-exact, so no guard needed
+    preset = preset.with_mtbf(preset.processor_mtbf * mtbf_factor)
     dist = make_distribution(dist_kind, preset.processor_mtbf, weibull_k)
     oh = make_overhead(overhead, preset)
     profiles: dict[str, WorkModel] = default_profiles(preset)

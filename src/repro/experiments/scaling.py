@@ -136,8 +136,8 @@ def run_scaling_experiment(
     the 125-year baseline, same workload).
     """
     preset = make_preset(platform_kind, scale)
-    if mtbf_factor != 1.0:
-        preset = preset.with_mtbf(preset.processor_mtbf * mtbf_factor)
+    # multiplying by the default 1.0 is IEEE-exact, so no guard needed
+    preset = preset.with_mtbf(preset.processor_mtbf * mtbf_factor)
     if include_dpmakespan is None:
         include_dpmakespan = dist_kind == "exponential"
     dist = make_distribution(dist_kind, preset.processor_mtbf, weibull_k)

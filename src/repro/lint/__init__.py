@@ -1,0 +1,41 @@
+"""reprolint — domain-aware static analysis for this reproduction.
+
+The repo's headline guarantees (bit-identical serial/parallel runs via
+``SeedSequence([seed, i])``, paper-faithful arithmetic in seconds) are
+invariants no general-purpose linter knows about.  ``reprolint`` encodes
+them as machine-checked AST rules:
+
+- **R1 determinism** — no legacy ``np.random.*`` samplers, no stdlib
+  ``random``, no wall-clock reads in ``simulation/``/``core/`` hot
+  paths; trace-generating calls must thread an explicit seed.
+- **R2 unit-safety** — time-valued positions must use ``repro.units``
+  constants instead of bare 60/3600/86400 multiples, and time parameter
+  names must follow the seconds convention.
+- **R3 float-eq** — no ``==``/``!=`` against float literals outside
+  approved tolerance helpers.
+- **R4 api-hygiene** — no mutable default arguments, no bare ``except``
+  or swallowed ``Exception``.
+- **R5 test-discipline** — expensive DP/integration tests must carry
+  ``@pytest.mark.slow``.
+
+Run via ``repro lint [paths]`` or :func:`lint_paths`.  Exemptions are
+inline pragmas: ``# reprolint: disable=R2`` (see docs/development.md).
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, format_diagnostic, lint_file, lint_paths
+from repro.lint.registry import LintRule, all_rules, get_rule, register
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintRule",
+    "all_rules",
+    "format_diagnostic",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "register",
+]

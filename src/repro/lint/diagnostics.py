@@ -1,0 +1,25 @@
+"""Diagnostic record emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, and what to do about it.
+
+    Ordering is (path, line, col, code) so reports read top-to-bottom
+    per file.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str = field(compare=False)
+    name: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: CODE[name] message`` — the CLI report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code}[{self.name}] {self.message}"

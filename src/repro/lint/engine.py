@@ -1,0 +1,136 @@
+"""Lint engine: file discovery, parsing, rule dispatch, pragma filtering.
+
+The engine is deliberately small — each rule owns its own AST walk over
+a shared :class:`FileContext`, and the engine only handles the
+mechanics: reading files, building the context once per file, running
+the selected rules, and dropping diagnostics suppressed by an inline
+``# reprolint: disable=`` pragma (:mod:`repro.lint.pragmas`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.pragmas import is_disabled, parse_pragmas
+from repro.lint.registry import LintRule, resolve_selection
+
+__all__ = [
+    "FileContext",
+    "format_diagnostic",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+]
+
+# Directory names never descended into during discovery.  ``fixtures``
+# holds deliberate rule violations for the linter's own test suite;
+# explicit file arguments still lint them.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist", "fixtures"})
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+    def in_package(self, *parts: str) -> bool:
+        """True if the file lives under any of the given directories
+        (``ctx.in_package("simulation", "core")``)."""
+        path_parts = set(self.path.parts)
+        return any(p in path_parts for p in parts)
+
+    @property
+    def is_test_file(self) -> bool:
+        return self.path.name.startswith("test_") and self.path.suffix == ".py"
+
+    def diag(self, node: ast.AST, rule: LintRule, message: str) -> Diagnostic:
+        """Build a :class:`Diagnostic` anchored at ``node``'s location."""
+        return Diagnostic(
+            path=self.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=rule.code,
+            name=rule.name,
+            message=message,
+        )
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            candidates: Iterable[Path] = [p]
+        elif p.is_dir():
+            candidates = sorted(
+                f
+                for f in p.rglob("*.py")
+                if not (_SKIP_DIRS & set(f.relative_to(p).parts[:-1]))
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[LintRule] | None = None
+) -> list[Diagnostic]:
+    """Run ``rules`` (default: all registered) over one file."""
+    p = Path(path)
+    if rules is None:
+        rules = resolve_selection(None)
+    source = p.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=p.as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="E0",
+                name="parse-error",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(path=p, source=source, tree=tree, lines=lines)
+    pragmas = parse_pragmas(lines)
+    out: list[Diagnostic] = []
+    for rule in rules:
+        for d in rule.check(ctx):
+            if not is_disabled(pragmas, d.line, d.code, d.name):
+                out.append(d)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint files and directories; returns all surviving diagnostics."""
+    rules = resolve_selection(select)
+    out: list[Diagnostic] = []
+    for f in iter_python_files(paths):
+        out.extend(lint_file(f, rules))
+    return out
+
+
+def format_diagnostic(diag: Diagnostic) -> str:
+    """Render one diagnostic as a CLI report line."""
+    return diag.render()

@@ -1,0 +1,44 @@
+"""Inline exemption pragmas.
+
+Syntax, on the line the diagnostic is reported at::
+
+    horizon = 60.0 * work  # reprolint: disable=R2  (60x factor, not MINUTE)
+
+``disable=`` takes a comma-separated list of rule codes (``R2``) or
+names (``unit-safety``); matching is case-insensitive.  ``disable=all``
+silences every rule on that line.  Pragmas are deliberately *narrow*:
+there is no file-level or block-level form — an exemption covers exactly
+one line, so each one is visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+ALL = "all"
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> lowercased rule keys disabled there."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        m = _PRAGMA_RE.search(text)
+        if m is None:
+            continue
+        keys = frozenset(
+            k.strip().lower() for k in m.group(1).split(",") if k.strip()
+        )
+        if keys:
+            out[lineno] = keys
+    return out
+
+
+def is_disabled(
+    pragmas: dict[int, frozenset[str]], line: int, code: str, name: str
+) -> bool:
+    keys = pragmas.get(line)
+    if not keys:
+        return False
+    return ALL in keys or code.lower() in keys or name.lower() in keys

@@ -1,0 +1,24 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry` (each module applies the ``@register``
+decorator at import time).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    api_hygiene,
+    determinism,
+    float_compare,
+    test_discipline,
+    unit_safety,
+)
+
+__all__ = [
+    "api_hygiene",
+    "determinism",
+    "float_compare",
+    "test_discipline",
+    "unit_safety",
+]

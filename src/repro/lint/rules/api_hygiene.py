@@ -1,0 +1,104 @@
+"""R4 — API hygiene.
+
+Two failure modes this repo has already paid for:
+
+- *mutable default arguments* silently share state across calls — in a
+  parallel runner that means cross-scenario contamination;
+- *swallowed exceptions*: PR 1 introduced ``PolicyInfeasibleError``
+  precisely because a policy failing to produce a plan must surface as
+  a recorded outcome, not be caught-and-ignored into a bogus makespan.
+
+This rule flags mutable defaults (``[]``, ``{}``, ``set()`` and
+friends), bare ``except:``, and ``except Exception: pass``-style
+handlers that discard the error without re-raising or recording it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import register
+from repro.lint.rules.common import dotted_name
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+_BROAD_EXC = frozenset({"Exception", "BaseException"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] in _MUTABLE_CALLS
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Body does nothing but pass/``...`` — the error vanishes."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+def _broad_types(type_node: ast.expr | None) -> list[str]:
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    out = []
+    for n in nodes:
+        name = dotted_name(n)
+        if name is not None and name.split(".")[-1] in _BROAD_EXC:
+            out.append(name)
+    return out
+
+
+@register
+class ApiHygieneRule:
+    code = "R4"
+    name = "api-hygiene"
+    description = (
+        "no mutable default arguments; no bare except or swallowed "
+        "broad Exception handlers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                args = node.args
+                for default in (*args.defaults, *args.kw_defaults):
+                    if default is not None and _is_mutable_default(default):
+                        fn = getattr(node, "name", "<lambda>")
+                        yield ctx.diag(
+                            default,
+                            self,
+                            f"mutable default argument in '{fn}' is shared "
+                            "across calls; default to None and create inside",
+                        )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield ctx.diag(
+                        node,
+                        self,
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                        "too; name the exception types",
+                    )
+                    continue
+                broad = _broad_types(node.type)
+                if broad and _swallows(node):
+                    yield ctx.diag(
+                        node,
+                        self,
+                        f"'except {broad[0]}' swallows the error (body is "
+                        "pass); handle it, re-raise, or record the failure "
+                        "(cf. PolicyInfeasibleError)",
+                    )

@@ -1,0 +1,69 @@
+"""R3 — float hygiene.
+
+The DP solvers and Theorem-1 closed forms are validated against each
+other to tolerances (see tests/test_differential.py); exact ``==`` on
+floats is almost always a latent bug that happens to pass on one
+platform's rounding.  This rule flags ``==``/``!=`` comparisons where
+either operand is a float literal.  Legitimate exact comparisons
+(IEEE-exact sentinels, integer-valued floats by construction) either
+live inside an approved tolerance helper (a function whose name
+contains ``isclose``/``approx``) or carry a one-line
+``# reprolint: disable=R3`` pragma explaining why exactness holds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import register
+
+_APPROVED_HELPER_MARKERS = ("isclose", "approx")
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -1.5 parses as UnaryOp(USub, Constant(1.5))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatCompareRule:
+    code = "R3"
+    name = "float-eq"
+    description = (
+        "no ==/!= against float literals outside approved tolerance helpers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._walk(ctx, ctx.tree, in_helper=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, in_helper: bool
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            helper = in_helper
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name.lower()
+                helper = helper or any(
+                    m in name for m in _APPROVED_HELPER_MARKERS
+                )
+            if isinstance(child, ast.Compare) and not helper:
+                operands = [child.left, *child.comparators]
+                exact_ops = [
+                    op for op in child.ops if isinstance(op, (ast.Eq, ast.NotEq))
+                ]
+                if exact_ops and any(_is_float_literal(o) for o in operands):
+                    yield ctx.diag(
+                        child,
+                        self,
+                        "exact ==/!= against a float literal; use "
+                        "math.isclose/np.isclose or justify exactness with "
+                        "a # reprolint: disable=R3 pragma",
+                    )
+            yield from self._walk(ctx, child, helper)

@@ -1,0 +1,176 @@
+"""R5 — test discipline.
+
+``make test-fast`` (the pre-merge fast lane) deselects
+``@pytest.mark.slow``; the lane only stays fast if expensive tests are
+actually marked.  Runtime is not statically knowable, so this rule uses
+a declared cost model as a proxy:
+
+- each call to a simulation/DP entry point has a base weight (the cubic
+  DPMakespan solver weighs far more than one ``simulate_job``);
+- the weight is multiplied by enclosing literal ``range(N)`` loops and
+  by literal ``n_traces=``/``traces=`` arguments.
+
+A test function whose summed cost exceeds :data:`COST_THRESHOLD`
+(tuned so the seed suite's measured-fast tests stay unflagged) must
+carry ``@pytest.mark.slow`` (directly, on its class, or via a module
+``pytestmark``).  The estimate is deliberately coarse — it exists to
+catch the "looped 500 simulations into the fast lane" mistake, not to
+predict seconds.  A test that looks expensive but is measured fast can
+say so with ``# reprolint: disable=R5`` on its ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import register
+from repro.lint.rules.common import call_name, decorator_name
+
+COST_THRESHOLD = 500
+
+# Base weights for known entry points (matched on the trailing name
+# component, case-insensitively, after stripping underscores).
+_WEIGHTS = {
+    # cubic single-processor DP — dominates anything it appears in
+    "dpmakespan": 50,
+    "dpmakespanpolicy": 50,
+    "dpmakespantable": 50,
+    # quadratic next-failure DP
+    "dpnextfailure": 10,
+    "dpnextfailureparallel": 10,
+    "dpnextfailurepolicy": 10,
+    # per-trace simulation / whole-scenario drivers
+    "simulatejob": 5,
+    "simulatelowerbound": 5,
+    "evaluatescenario": 5,
+    "runscenario": 5,
+    # experiment drivers (already multi-trace inside)
+    "runscalingexperiment": 20,
+    "runsingleprocexperiment": 20,
+    "runtable4": 20,
+    "runshapesweep": 20,
+    "runperiodsweep": 20,
+    "runlogbasedexperiment": 20,
+    "runmodelcomboexperiment": 20,
+    "runoptimalenrollment": 20,
+    "runreplicationexperiment": 20,
+    "generateplatformtraces": 1,
+}
+
+_TRACE_KWARGS = frozenset({"n_traces", "traces", "n_runs", "n_samples"})
+_LOOP_CAP = 10_000  # keep products finite on absurd literals
+
+
+def _canon(name: str) -> str:
+    return name.replace("_", "").lower()
+
+
+def _has_slow_marker(decorators: list[ast.expr]) -> bool:
+    for dec in decorators:
+        name = decorator_name(dec)
+        if name is not None and name.endswith("mark.slow"):
+            return True
+    return False
+
+
+def _module_marked_slow(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "pytestmark" for t in stmt.targets
+        ):
+            continue
+        values = (
+            stmt.value.elts if isinstance(stmt.value, ast.List) else [stmt.value]
+        )
+        for v in values:
+            name = decorator_name(v)
+            if name is not None and name.endswith("mark.slow"):
+                return True
+    return False
+
+
+def _literal_range_size(node: ast.For | ast.AsyncFor) -> int:
+    """N for ``for ... in range(N)`` (or range(a, b)); 1 otherwise."""
+    it = node.iter
+    if not (isinstance(it, ast.Call) and call_name(it) == "range" and it.args):
+        return 1
+    consts = [a.value for a in it.args if isinstance(a, ast.Constant)]
+    if len(consts) != len(it.args) or not all(
+        isinstance(c, int) and not isinstance(c, bool) for c in consts
+    ):
+        return 1
+    if len(consts) == 1:
+        size = consts[0]
+    else:
+        step = consts[2] if len(consts) == 3 and consts[2] else 1
+        size = max(0, (consts[1] - consts[0]) // step) if step > 0 else 1
+    return max(1, min(size, _LOOP_CAP))
+
+
+def _cost(node: ast.AST, loop_mult: int) -> int:
+    total = 0
+    for child in ast.iter_child_nodes(node):
+        mult = loop_mult
+        if isinstance(child, (ast.For, ast.AsyncFor)):
+            mult = min(loop_mult * _literal_range_size(child), _LOOP_CAP)
+        if isinstance(child, ast.Call):
+            name = call_name(child)
+            if name is not None:
+                base = _WEIGHTS.get(_canon(name.split(".")[-1]), 0)
+                if base:
+                    traces = 1
+                    for kw in child.keywords:
+                        if (
+                            kw.arg in _TRACE_KWARGS
+                            and isinstance(kw.value, ast.Constant)
+                            and isinstance(kw.value.value, int)
+                        ):
+                            traces = max(1, min(kw.value.value, _LOOP_CAP))
+                    total += base * mult * traces
+        total += _cost(child, mult)
+    return total
+
+
+@register
+class TestDisciplineRule:
+    code = "R5"
+    name = "test-discipline"
+    description = (
+        "test functions whose static cost estimate exceeds the threshold "
+        "must carry @pytest.mark.slow"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_test_file:
+            return
+        if _module_marked_slow(ctx.tree):
+            return
+        yield from self._scan(ctx, ctx.tree, class_slow=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, class_slow: bool
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._scan(
+                    ctx, child, class_slow or _has_slow_marker(child.decorator_list)
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not child.name.startswith("test_"):
+                    continue
+                if class_slow or _has_slow_marker(child.decorator_list):
+                    continue
+                cost = _cost(child, 1)
+                if cost > COST_THRESHOLD:
+                    yield ctx.diag(
+                        child,
+                        self,
+                        f"'{child.name}' has estimated cost {cost} "
+                        f"(> {COST_THRESHOLD}); mark it @pytest.mark.slow so "
+                        "the fast lane skips it",
+                    )

@@ -15,6 +15,8 @@ after each checkpoint, after each recovery).
   (:func:`repro.simulation.simulate_lower_bound`), not a policy.
 """
 
+from __future__ import annotations
+
 from repro.policies.base import PeriodicPolicy, Policy, PolicyInfeasibleError
 from repro.policies.classical import DalyHigh, DalyLow, OptExp, Young
 from repro.policies.bouguerra import Bouguerra

@@ -1,5 +1,7 @@
 """Discrete-event simulation of checkpoint/restart execution."""
 
+from __future__ import annotations
+
 from repro.simulation.engine import JobContext, simulate_job, simulate_lower_bound
 from repro.simulation.parallel import (
     ExecutionConfig,

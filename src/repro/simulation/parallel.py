@@ -322,16 +322,17 @@ class ParallelRunner:
         n_traces: int,
         horizon: float,
         t0: float = 0.0,
-        seed=0,
+        seed: int = 0,
         include_lower_bound: bool = True,
         include_period_lb: bool = True,
-        period_lb_factors=None,
+        period_lb_factors: list[float] | None = None,
         period_lb_traces: int | None = None,
         max_makespan: float = math.inf,
     ):
         """Run ``policies`` over ``n_traces`` generated traces; see
         :func:`repro.simulation.runner.run_scenarios` for semantics."""
-        start = time.perf_counter()
+        # diagnostic elapsed-time only; never feeds simulation state
+        start = time.perf_counter()  # reprolint: disable=R1
         prior_enabled = get_cache().enabled
         configure_cache(enabled=self.use_cache)
         try:
@@ -483,7 +484,7 @@ class ParallelRunner:
             work_time=work_time,
             best_period=best_period,
             infeasible=infeasible,
-            elapsed=time.perf_counter() - start,
+            elapsed=time.perf_counter() - start,  # reprolint: disable=R1
             n_jobs=self.jobs,
             cache_hits=hits,
             cache_misses=misses,

@@ -92,10 +92,10 @@ def run_scenarios(
     n_traces: int,
     horizon: float,
     t0: float = 0.0,
-    seed=0,
+    seed: int = 0,
     include_lower_bound: bool = True,
     include_period_lb: bool = True,
-    period_lb_factors=None,
+    period_lb_factors: list[float] | None = None,
     period_lb_traces: int | None = None,
     max_makespan: float = math.inf,
     jobs: int | None = None,

@@ -1,5 +1,7 @@
 """Failure-trace generation (Section 4.3)."""
 
+from __future__ import annotations
+
 from repro.traces.generation import (
     JobTraces,
     PlatformTraces,

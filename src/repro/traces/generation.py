@@ -21,6 +21,10 @@ import numpy as np
 
 from repro.distributions.base import FailureDistribution
 
+# Anything accepted as an explicit trace seed: a plain int, an entropy
+# list like ``[seed, trace_index]``, or a pre-built SeedSequence.
+SeedLike = int | list[int] | np.random.SeedSequence
+
 __all__ = [
     "generate_failure_times",
     "generate_platform_traces",
@@ -73,7 +77,7 @@ def generate_platform_traces(
     n_units: int,
     horizon: float,
     downtime: float = 0.0,
-    seed=0,
+    seed: SeedLike = 0,
 ) -> "PlatformTraces":
     """Independent traces for ``n_units`` failure units, vectorized.
 
@@ -134,7 +138,7 @@ def generate_rejuvenated_platform_traces(
     n_units: int,
     horizon: float,
     downtime: float = 0.0,
-    seed=0,
+    seed: SeedLike = 0,
 ) -> "PlatformTraces":
     """Traces under the *all-processor rejuvenation* model (Appendix B.1).
 

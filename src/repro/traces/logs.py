@@ -60,7 +60,7 @@ _PROFILES = {
 def synthesize_lanl_like_log(
     cluster: int = 19,
     years: float = 9.0,
-    seed=0,
+    seed: int = 0,
 ) -> SyntheticLog:
     """Generate a synthetic availability log in the image of LANL cluster
     ``18`` or ``19``.

@@ -1,5 +1,7 @@
 """Time unit constants (seconds).  The paper counts years as 365 days."""
 
+from __future__ import annotations
+
 SECOND = 1.0
 MINUTE = 60.0
 HOUR = 3600.0

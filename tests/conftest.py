@@ -5,6 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# Lint fixtures contain deliberate rule violations (including fake
+# ``test_*`` functions for the R5 rule); never collect them as tests.
+collect_ignore = ["fixtures"]
+
 from repro.distributions import Empirical, Exponential, Gamma, LogNormal, Weibull
 from repro.units import DAY, HOUR
 

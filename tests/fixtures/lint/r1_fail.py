@@ -1,0 +1,18 @@
+"""R1 fixture: global-state RNGs and an unseeded trace generator."""
+
+import random
+
+import numpy as np
+
+from repro.traces import generate_platform_traces
+
+
+def bad_sampling():
+    np.random.seed(42)
+    x = np.random.uniform(0.0, 1.0)
+    y = random.random()
+    return x + y
+
+
+def unseeded_traces(dist, horizon):
+    return generate_platform_traces(dist, 4, horizon)

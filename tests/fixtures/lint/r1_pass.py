@@ -1,0 +1,16 @@
+"""R1 fixture: the explicit-seed API threads a SeedSequence everywhere."""
+
+import numpy as np
+
+from repro.traces import generate_platform_traces
+
+
+def good_sampling(seed: int):
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.uniform(0.0, 1.0)
+
+
+def seeded_traces(dist, horizon, seed: int, i: int):
+    return generate_platform_traces(
+        dist, 4, horizon, seed=np.random.SeedSequence([seed, i])
+    )

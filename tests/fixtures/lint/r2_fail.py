@@ -1,0 +1,14 @@
+"""R2 fixture: bare 60/3600/86400 multiples in time-valued positions."""
+
+
+def plan(work: float = 20 * 86400.0, checkpoint: float = 3600):
+    mtbf = 86400.0
+    return simulate(work, checkpoint, mtbf=mtbf, downtime=60)
+
+
+def convert(timeout_ms: float) -> float:
+    return timeout_ms / 1000.0
+
+
+def simulate(work, checkpoint, mtbf=0.0, downtime=0.0):
+    return work + checkpoint + mtbf + downtime

@@ -1,0 +1,16 @@
+"""R2 fixture: durations spelled with repro.units constants."""
+
+from repro.units import DAY, HOUR, MINUTE
+
+
+def plan(work: float = 20 * DAY, checkpoint: float = HOUR):
+    mtbf = DAY
+    return simulate(work, checkpoint, mtbf=mtbf, downtime=MINUTE)
+
+
+def convert(timeout_s: float) -> float:
+    return timeout_s
+
+
+def simulate(work, checkpoint, mtbf=0.0, downtime=0.0):
+    return work + checkpoint + mtbf + downtime

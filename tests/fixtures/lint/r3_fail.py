@@ -1,0 +1,9 @@
+"""R3 fixture: exact float comparisons outside tolerance helpers."""
+
+
+def converged(error: float) -> bool:
+    return error == 0.0
+
+
+def changed(factor: float) -> bool:
+    return factor != 1.0

@@ -1,0 +1,14 @@
+"""R3 fixture: tolerance-based float comparison, plus an approved helper."""
+
+import math
+
+
+def converged(error: float) -> bool:
+    return math.isclose(error, 0.0, abs_tol=1e-12)
+
+
+def my_isclose(a: float, b: float) -> bool:
+    # exact literal compare allowed here: this *is* the tolerance helper
+    if b == 0.0:
+        return abs(a) < 1e-12
+    return abs(a - b) < 1e-9 * max(abs(a), abs(b))

@@ -1,0 +1,20 @@
+"""R4 fixture: mutable default, bare except, swallowed Exception."""
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def solve_quietly(solver):
+    try:
+        return solver()
+    except:
+        return None
+
+
+def solve_silently(solver):
+    try:
+        return solver()
+    except Exception:
+        pass

@@ -1,0 +1,20 @@
+"""R4 fixture: None defaults and narrow, recorded error handling."""
+
+
+class SolverInfeasibleError(Exception):
+    pass
+
+
+def accumulate(value, into=None):
+    if into is None:
+        into = []
+    into.append(value)
+    return into
+
+
+def solve_and_record(solver, failures):
+    try:
+        return solver()
+    except SolverInfeasibleError as exc:
+        failures.append(exc)
+        raise

@@ -1,0 +1,8 @@
+"""R1 fixture: wall-clock read inside a simulation/ hot path."""
+
+import time
+
+
+def stamp_result(result):
+    result["finished_at"] = time.time()
+    return result

@@ -1,0 +1,10 @@
+"""R5 fixture: statically expensive test without @pytest.mark.slow."""
+
+from repro.simulation import simulate_job
+
+
+def test_unmarked_monte_carlo(policy, traces, dist):
+    spans = []
+    for i in range(500):
+        spans.append(simulate_job(policy, 1.0, traces[i], 1.0, 1.0, dist))
+    assert spans

@@ -1,0 +1,17 @@
+"""R5 fixture: the expensive test is marked slow; the cheap one is not."""
+
+import pytest
+
+from repro.simulation import simulate_job
+
+
+@pytest.mark.slow
+def test_marked_monte_carlo(policy, traces, dist):
+    spans = []
+    for i in range(500):
+        spans.append(simulate_job(policy, 1.0, traces[i], 1.0, 1.0, dist))
+    assert spans
+
+
+def test_single_simulation(policy, trace, dist):
+    assert simulate_job(policy, 1.0, trace, 1.0, 1.0, dist) is not None
