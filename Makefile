@@ -1,15 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test test-fast bench-smoke verify
+.PHONY: lint lint-fix test test-fast bench-smoke verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
-# runs: the full rule set on src/, and the determinism/hygiene/discipline
-# rules on tests/ (R2/R3 literal rules are relaxed for test code).
+# runs the full R1-R8 rule set — per-file and whole-program — over
+# src/ and tests/ (the literal rules R2/R3 relax themselves inside test
+# files).  Re-runs are incremental via .reprolint-cache/.
 # ruff and mypy run only where installed — CI installs both.
 lint:
-	$(PYTHON) -m repro lint src
-	$(PYTHON) -m repro lint tests --select R1,R4,R5
+	$(PYTHON) -m repro lint src tests
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
@@ -20,6 +20,11 @@ lint:
 	else \
 		echo "mypy not installed -- skipping (CI runs it)"; \
 	fi
+
+# Apply reprolint's mechanical fixes (R2 unit constants, R4 future
+# imports), then report what is left for a human.
+lint-fix:
+	$(PYTHON) -m repro lint src tests --fix
 
 # Full tier-1 suite.
 test:

@@ -1,0 +1,87 @@
+"""reprolint engine benchmark: cold vs incremental vs parallel.
+
+Lints the full tree (``src/`` + ``tests/``) four ways:
+
+1. cold, serial, caching disabled (the lower bound for one-shot runs);
+2. cold, serial, writing ``.reprolint-cache/`` (cache-fill overhead);
+3. warm, incremental (the edit-relint loop: zero files re-parsed);
+4. cold, parallel (``REPRO_BENCH_JOBS`` workers, default one per CPU).
+
+Diagnostics are asserted identical across all four runs, and the warm
+run is asserted to re-parse nothing — the two guarantees the engine's
+cache and process pool are built on.  The measured numbers land in
+``benchmarks/results/lint_engine.txt`` and are quoted in
+``docs/development.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.cache import LintCache
+
+from _util import report, run_once
+
+REPO = Path(__file__).resolve().parent.parent
+PATHS = [REPO / "src", REPO / "tests"]
+
+
+def test_lint_engine_modes(benchmark):
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0) or (os.cpu_count() or 1)
+
+    def timed(label, fn):
+        t = time.perf_counter()
+        res = fn()
+        return label, time.perf_counter() - t, res
+
+    def run_all():
+        cache_dir = Path(tempfile.mkdtemp(prefix="reprolint-bench-"))
+        try:
+            rows = [
+                timed("cold serial, no cache", lambda: run_lint(PATHS)),
+                timed(
+                    "cold serial, cache fill",
+                    lambda: run_lint(PATHS, cache=LintCache(cache_dir)),
+                ),
+                timed(
+                    "warm incremental",
+                    lambda: run_lint(PATHS, cache=LintCache(cache_dir)),
+                ),
+                timed(
+                    f"cold parallel, jobs={jobs}",
+                    lambda: run_lint(PATHS, jobs=jobs),
+                ),
+            ]
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    base = rows[0][2]
+    for _label, _t, rep in rows[1:]:
+        assert [d.render() for d in rep.diagnostics] == [
+            d.render() for d in base.diagnostics
+        ], "lint results differ across engine modes"
+    warm = rows[2][2]
+    assert warm.parsed == 0, "warm cache run re-parsed files"
+
+    t_cold = rows[0][1]
+    lines = [
+        f"linted: src/ + tests/ = {base.files} files, "
+        f"{len(base.diagnostics)} findings",
+        f"host CPUs: {os.cpu_count()}",
+        "",
+        f"{'mode':<26} {'wall [s]':>9}  {'vs cold':>8}",
+    ]
+    for label, t, rep in rows:
+        lines.append(
+            f"{label:<26} {t:>9.3f}  {t_cold / t:>7.1f}x"
+            + (f"  (parsed {rep.parsed}/{rep.files})" if not rep.parsed else "")
+        )
+    report("lint_engine", "\n".join(lines))

@@ -20,7 +20,9 @@ see ``docs/performance.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro.units import DAY, HOUR, MINUTE, WEEK, YEAR
 
@@ -251,7 +253,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, lint_paths
+    from repro.lint import all_rules, run_lint
+    from repro.lint.cache import LintCache
+    from repro.lint.fixes import apply_fixes
+    from repro.lint.formats import render_report
 
     if args.list_rules:
         for rule in all_rules():
@@ -259,15 +264,33 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     paths = args.paths or ["src"]
     select = args.select.split(",") if args.select else None
+    jobs = args.jobs if args.jobs else 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    cache = None
+    if not args.no_cache and not args.fix:
+        # --fix needs live Fix objects, which the cache does not carry.
+        cache = LintCache(args.cache_dir)
     try:
-        diags = lint_paths(paths, select=select)
+        report = run_lint(paths, select=select, cache=cache, jobs=jobs)
+        if args.fix:
+            applied = apply_fixes(report.diagnostics)
+            for path, n in applied.items():
+                print(f"fixed {n} finding{'s' if n != 1 else ''} in {path}",
+                      file=sys.stderr)
+            # re-lint so the report reflects the tree as it now stands
+            report = run_lint(paths, select=select, jobs=jobs)
     except (FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for d in diags:
-        print(d.render())
-    if diags:
-        n = len(diags)
+    out = render_report(report, args.format)
+    if out:
+        print(out)
+    if report.has_errors:
+        print("\nparse errors encountered", file=sys.stderr)
+        return 2
+    if report.diagnostics:
+        n = len(report.diagnostics)
         print(f"\n{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
         return 1
     return 0
@@ -376,6 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(e.g. R1,unit-safety); default: all")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    p_lint.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (R2 unit constants, "
+                             "R4 future-annotations import) and re-lint")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format (default text)")
+    p_lint.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the per-file pass "
+                             "(default 1 = serial; 0 = one per CPU)")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write .reprolint-cache/")
+    p_lint.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="cache location (default: $REPROLINT_CACHE_DIR "
+                             "or ./.reprolint-cache)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_mtbf = sub.add_parser("mtbf", help="Figure-1 rejuvenation analytics")

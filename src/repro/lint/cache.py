@@ -1,0 +1,130 @@
+"""Content-hash incremental cache for the lint engine.
+
+Linting is a pure function of (file content, rule implementations), so
+re-linting an unchanged tree should cost file hashing, not re-parsing.
+Each linted file gets one JSON entry under ``.reprolint-cache/`` keyed
+by the SHA-256 of its *path* and validated by the SHA-256 of its
+*content* plus a rule-set signature:
+
+- per-file diagnostics are stored for **all** per-file rules (selection
+  is applied at read time, so ``--select`` never invalidates entries);
+- the file's :class:`~repro.lint.project.ModuleInfo` summary and its
+  pragma map are stored alongside, so the whole-program pass (R6-R8)
+  can rebuild its model with **zero re-parses** on a warm cache;
+- any change to the rule set (new rule, changed message) bumps the
+  signature and invalidates everything at once.
+
+The cache directory is safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["LintCache", "default_cache_dir", "rules_signature"]
+
+# Bump when the engine's record layout or semantics change.
+_ENGINE_VERSION = 2
+
+_CACHE_DIR_NAME = ".reprolint-cache"
+
+
+def default_cache_dir() -> Path:
+    """``$REPROLINT_CACHE_DIR`` or ``.reprolint-cache`` under the CWD."""
+    env = os.environ.get("REPROLINT_CACHE_DIR")
+    return Path(env) if env else Path.cwd() / _CACHE_DIR_NAME
+
+
+def rules_signature() -> str:
+    """Digest over every registered rule's identity and description.
+
+    Descriptions change when rule behavior changes (by convention), so
+    this invalidates the cache on rule evolution without hashing source.
+    """
+    from repro.lint.registry import all_rules
+
+    payload = "|".join(
+        f"{r.code}:{r.name}:{r.description}" for r in all_rules()
+    )
+    digest = hashlib.sha256(f"v{_ENGINE_VERSION}|{payload}".encode()).hexdigest()
+    return digest[:16]
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """One-file-per-entry JSON cache under ``cache_dir``."""
+
+    def __init__(self, cache_dir: Path | None = None, enabled: bool = True):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = enabled
+        self._signature = rules_signature() if enabled else ""
+
+    def _entry_path(self, path: Path) -> Path:
+        key = hashlib.sha256(path.resolve().as_posix().encode()).hexdigest()
+        return self.cache_dir / f"{key[:32]}.json"
+
+    def load(self, path: Path, digest: str) -> dict[str, Any] | None:
+        """The stored record for ``path`` if it matches ``digest``."""
+        if not self.enabled:
+            return None
+        entry = self._entry_path(path)
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            data.get("signature") != self._signature
+            or data.get("digest") != digest
+        ):
+            return None
+        return data
+
+    def store(self, path: Path, digest: str, record: dict[str, Any]) -> None:
+        """Persist ``record`` for ``path`` at ``digest`` (best-effort)."""
+        if not self.enabled:
+            return
+        record = dict(record)
+        record["signature"] = self._signature
+        record["digest"] = digest
+        record["path"] = path.as_posix()
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            entry = self._entry_path(path)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(record, separators=(",", ":")), encoding="utf-8"
+            )
+            tmp.replace(entry)
+        except OSError:
+            pass  # caching is best-effort; linting still succeeds
+
+
+def diagnostic_to_json(diag: Diagnostic) -> dict[str, Any]:
+    return {
+        "path": diag.path,
+        "line": diag.line,
+        "col": diag.col,
+        "code": diag.code,
+        "name": diag.name,
+        "message": diag.message,
+    }
+
+
+def diagnostic_from_json(data: dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        code=data["code"],
+        name=data["name"],
+        message=data["message"],
+    )

@@ -1,8 +1,33 @@
-"""Diagnostic record emitted by lint rules."""
+"""Diagnostic record emitted by lint rules, plus machine-applicable fixes."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Edit:
+    """Replace ``[col, end_col)`` (0-based) on 1-based ``line`` with ``text``."""
+
+    line: int
+    col: int
+    end_col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical remedy the ``--fix`` engine can apply.
+
+    ``edits`` are same-line text replacements; ``insert_line`` adds a
+    whole new line *before* the given 1-based line number;
+    ``add_units_import`` lists ``repro.units`` constant names the edited
+    file must import for the replacement text to resolve.
+    """
+
+    edits: tuple[Edit, ...] = ()
+    insert_line: tuple[int, str] | None = None
+    add_units_import: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, order=True)
@@ -10,7 +35,9 @@ class Diagnostic:
     """One finding: where, which rule, and what to do about it.
 
     Ordering is (path, line, col, code) so reports read top-to-bottom
-    per file.
+    per file.  ``fix`` (when present) is the mechanical remedy applied
+    by ``repro lint --fix``; it never participates in equality or
+    serialization.
     """
 
     path: str
@@ -19,6 +46,7 @@ class Diagnostic:
     code: str = field(compare=False)
     name: str = field(compare=False)
     message: str = field(compare=False)
+    fix: Fix | None = field(compare=False, default=None)
 
     def render(self) -> str:
         """``path:line:col: CODE[name] message`` — the CLI report line."""

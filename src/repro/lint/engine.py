@@ -1,10 +1,22 @@
-"""Lint engine: file discovery, parsing, rule dispatch, pragma filtering.
+"""Lint engine: discovery, parsing, caching, rule dispatch, reporting.
 
-The engine is deliberately small — each rule owns its own AST walk over
-a shared :class:`FileContext`, and the engine only handles the
-mechanics: reading files, building the context once per file, running
-the selected rules, and dropping diagnostics suppressed by an inline
-``# reprolint: disable=`` pragma (:mod:`repro.lint.pragmas`).
+Two passes over the linted tree:
+
+1. **per-file** — each per-file rule walks one parsed
+   :class:`FileContext`; results are filtered through inline pragmas
+   (:mod:`repro.lint.pragmas`) and stored, together with the file's
+   :class:`~repro.lint.project.ModuleInfo` summary, in the content-hash
+   cache (:mod:`repro.lint.cache`);
+2. **whole-program** — the :class:`~repro.lint.project.ProjectModel` is
+   assembled from every file's summary (cached or fresh) and the
+   project rules (R6-R8) run over it.
+
+Because the cache stores summaries alongside diagnostics, a warm run
+over an unchanged tree re-parses **zero** files — including for the
+whole-program pass.  ``jobs > 1`` fans the per-file pass out over a
+process pool (same pattern as :mod:`repro.simulation.parallel`).
+Unreadable and non-UTF-8 files surface as synthetic ``E0`` parse-error
+diagnostics instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -12,24 +24,45 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
+from repro.lint.cache import (
+    LintCache,
+    content_digest,
+    diagnostic_from_json,
+    diagnostic_to_json,
+)
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.pragmas import is_disabled, parse_pragmas
-from repro.lint.registry import LintRule, resolve_selection
+from repro.lint.pragmas import (
+    expand_decorator_pragmas,
+    is_disabled,
+    parse_pragmas,
+)
+from repro.lint.registry import (
+    LintRule,
+    all_rules,
+    is_project_rule,
+    resolve_selection,
+)
 
 __all__ = [
     "FileContext",
+    "FileResult",
+    "LintReport",
     "format_diagnostic",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "run_lint",
 ]
 
 # Directory names never descended into during discovery.  ``fixtures``
 # holds deliberate rule violations for the linter's own test suite;
 # explicit file arguments still lint them.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist", "fixtures"})
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "build", "dist", "fixtures",
+     ".reprolint-cache"}
+)
 
 
 @dataclass
@@ -67,6 +100,32 @@ class FileContext:
         )
 
 
+@dataclass
+class FileResult:
+    """Everything the engine learned about one file."""
+
+    path: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    module: dict[str, Any] | None = None  # ModuleInfo JSON summary
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    parsed: bool = False  # a fresh ast.parse happened for this file
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one :func:`run_lint` invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files: int = 0
+    parsed: int = 0  # cache misses: files actually read and parsed
+    cached: int = 0  # cache hits: files served entirely from the cache
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any file failed to parse (``E0``) — exit code 2."""
+        return any(d.code == "E0" for d in self.diagnostics)
+
+
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
     """Expand files/directories into a sorted, de-duplicated file list."""
     seen: set[Path] = set()
@@ -88,30 +147,211 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
                 yield f
 
 
+def _parse_error(path: Path, line: int, col: int, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=path.as_posix(),
+        line=line,
+        col=col,
+        code="E0",
+        name="parse-error",
+        message=message,
+    )
+
+
+def _file_rules() -> list[LintRule]:
+    return [r for r in all_rules() if not is_project_rule(r)]
+
+
+def _process_file(path: Path, cache: LintCache | None) -> FileResult:
+    """Lint one file through the cache: per-file diagnostics for *all*
+    rules (selection applied later), the module summary, and pragmas."""
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        return FileResult(
+            path=path.as_posix(),
+            diagnostics=[_parse_error(path, 1, 1, f"cannot read: {exc}")],
+        )
+    digest = content_digest(raw)
+    if cache is not None:
+        record = cache.load(path, digest)
+        if record is not None:
+            return FileResult(
+                path=path.as_posix(),
+                diagnostics=[
+                    diagnostic_from_json(d) for d in record.get("diags", [])
+                ],
+                module=record.get("module"),
+                pragmas={
+                    int(line): frozenset(keys)
+                    for line, keys in record.get("pragmas", {}).items()
+                },
+            )
+
+    result = FileResult(path=path.as_posix(), parsed=True)
+    try:
+        source = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        result.diagnostics = [
+            _parse_error(path, 1, 1, f"cannot decode as UTF-8: {exc.reason}")
+        ]
+    else:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            result.diagnostics = [
+                _parse_error(
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 0) + 1,
+                    f"cannot parse: {exc.msg}",
+                )
+            ]
+        else:
+            lines = source.splitlines()
+            pragmas = expand_decorator_pragmas(tree, parse_pragmas(lines))
+            ctx = FileContext(path=path, source=source, tree=tree, lines=lines)
+            diags: list[Diagnostic] = []
+            for rule in _file_rules():
+                for d in rule.check(ctx):
+                    if not is_disabled(pragmas, d.line, d.code, d.name):
+                        diags.append(d)
+            from repro.lint.project import build_module_info
+
+            result.diagnostics = sorted(diags)
+            result.module = build_module_info(path, tree).to_json()
+            result.pragmas = pragmas
+
+    if cache is not None:
+        cache.store(
+            path,
+            digest,
+            {
+                "diags": [diagnostic_to_json(d) for d in result.diagnostics],
+                "module": result.module,
+                "pragmas": {
+                    str(line): sorted(keys)
+                    for line, keys in result.pragmas.items()
+                },
+            },
+        )
+    return result
+
+
+# -- process-pool worker (module level so it pickles) -------------------
+
+_POOL_CACHE: LintCache | None = None
+
+
+def _pool_init(cache_dir: str | None, enabled: bool) -> None:
+    global _POOL_CACHE
+    _POOL_CACHE = (
+        LintCache(Path(cache_dir) if cache_dir else None, enabled=enabled)
+        if enabled
+        else None
+    )
+
+
+def _pool_worker(path_str: str) -> FileResult:
+    return _process_file(Path(path_str), _POOL_CACHE)
+
+
+def _process_files(
+    files: list[Path], cache: LintCache | None, jobs: int
+) -> list[FileResult]:
+    if jobs > 1 and len(files) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            cache_dir = cache.cache_dir.as_posix() if cache else None
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(files)),
+                initializer=_pool_init,
+                initargs=(cache_dir, cache is not None),
+            ) as pool:
+                return list(
+                    pool.map(_pool_worker, [f.as_posix() for f in files])
+                )
+        except (ImportError, OSError):  # no usable multiprocessing here
+            pass
+    return [_process_file(f, cache) for f in files]
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    *,
+    cache: LintCache | None = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint files and directories; the full engine entry point.
+
+    Per-file rules always *run* in full (cache entries must be
+    selection-independent); ``select`` filters which codes are
+    reported.  Project rules run only when selected, over a model
+    rebuilt from every file's summary.
+    """
+    rules = resolve_selection(select)
+    selected_codes = {r.code for r in rules}
+    project_rules = [r for r in rules if is_project_rule(r)]
+
+    files = list(iter_python_files(paths))
+    results = _process_files(files, cache, jobs)
+
+    report = LintReport(files=len(files))
+    for res in results:
+        report.parsed += 1 if res.parsed else 0
+        report.cached += 0 if res.parsed else 1
+        for d in res.diagnostics:
+            if d.code == "E0" or d.code in selected_codes:
+                report.diagnostics.append(d)
+
+    if project_rules:
+        from repro.lint.project import ModuleInfo, ProjectModel
+
+        model = ProjectModel(
+            [ModuleInfo.from_json(r.module) for r in results if r.module]
+        )
+        pragmas_by_path = {r.path: r.pragmas for r in results}
+        for rule in project_rules:
+            for d in rule.check_project(model):
+                file_pragmas = pragmas_by_path.get(d.path, {})
+                if not is_disabled(file_pragmas, d.line, d.code, d.name):
+                    report.diagnostics.append(d)
+
+    report.diagnostics.sort()
+    return report
+
+
 def lint_file(
     path: str | Path, rules: Sequence[LintRule] | None = None
 ) -> list[Diagnostic]:
-    """Run ``rules`` (default: all registered) over one file."""
+    """Run ``rules`` (default: all registered) over one file, uncached.
+
+    Project rules in ``rules`` contribute their (empty) per-file pass
+    only; use :func:`run_lint` for whole-program analysis.
+    """
     p = Path(path)
     if rules is None:
         rules = resolve_selection(None)
-    source = p.read_text(encoding="utf-8")
+    try:
+        source = p.read_bytes().decode("utf-8")
+    except OSError as exc:
+        return [_parse_error(p, 1, 1, f"cannot read: {exc}")]
+    except UnicodeDecodeError as exc:
+        return [_parse_error(p, 1, 1, f"cannot decode as UTF-8: {exc.reason}")]
     try:
         tree = ast.parse(source, filename=str(p))
     except SyntaxError as exc:
         return [
-            Diagnostic(
-                path=p.as_posix(),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="E0",
-                name="parse-error",
-                message=f"cannot parse: {exc.msg}",
+            _parse_error(
+                p, exc.lineno or 1, (exc.offset or 0) + 1,
+                f"cannot parse: {exc.msg}",
             )
         ]
     lines = source.splitlines()
     ctx = FileContext(path=p, source=source, tree=tree, lines=lines)
-    pragmas = parse_pragmas(lines)
+    pragmas = expand_decorator_pragmas(tree, parse_pragmas(lines))
     out: list[Diagnostic] = []
     for rule in rules:
         for d in rule.check(ctx):
@@ -121,14 +361,12 @@ def lint_file(
 
 
 def lint_paths(
-    paths: Sequence[str | Path], select: Iterable[str] | None = None
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    **kwargs: Any,
 ) -> list[Diagnostic]:
     """Lint files and directories; returns all surviving diagnostics."""
-    rules = resolve_selection(select)
-    out: list[Diagnostic] = []
-    for f in iter_python_files(paths):
-        out.extend(lint_file(f, rules))
-    return out
+    return run_lint(paths, select, **kwargs).diagnostics
 
 
 def format_diagnostic(diag: Diagnostic) -> str:

@@ -1,0 +1,142 @@
+"""Application of machine-generated fixes (``repro lint --fix``).
+
+Only mechanical, semantics-preserving rewrites carry a
+:class:`~repro.lint.diagnostics.Fix`: R2's unit-constant substitution
+(``1200.0`` -> ``20 * MINUTE``, IEEE-exact by construction of
+:mod:`repro.units`) and R4's missing
+``from __future__ import annotations`` insertion.  Everything else
+needs a human.
+
+Per file the engine applies, in order: same-line span edits (bottom-up
+so earlier spans stay valid), whole-line insertions, then any
+``repro.units`` import the substitutions now require (merged into an
+existing single-line import when present).  Applying fixes twice is a
+no-op: the second lint pass no longer emits the diagnostics, so there
+is nothing left to apply — the idempotency test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Edit
+
+__all__ = ["apply_fixes"]
+
+_UNITS_IMPORT_PREFIX = "from repro.units import "
+
+
+def apply_fixes(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """Apply every carried fix; returns ``{path: fixes_applied}``."""
+    by_path: dict[str, list[Diagnostic]] = {}
+    for d in diagnostics:
+        if d.fix is not None:
+            by_path.setdefault(d.path, []).append(d)
+    applied: dict[str, int] = {}
+    for path, diags in sorted(by_path.items()):
+        n = _fix_file(Path(path), diags)
+        if n:
+            applied[path] = n
+    return applied
+
+
+def _fix_file(path: Path, diags: Sequence[Diagnostic]) -> int:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return 0
+    trailing_newline = source.endswith("\n")
+    lines = source.splitlines()
+
+    edits: list[Edit] = []
+    inserts: list[tuple[int, str]] = []
+    units_needed: set[str] = set()
+    count = 0
+    for d in diags:
+        fix = d.fix
+        assert fix is not None
+        if fix.edits:
+            edits.extend(fix.edits)
+        if fix.insert_line is not None:
+            inserts.append(fix.insert_line)
+        units_needed.update(fix.add_units_import)
+        count += 1
+
+    lines = _apply_edits(lines, edits)
+    for lineno, text in sorted(inserts, reverse=True):
+        at = min(max(lineno - 1, 0), len(lines))
+        lines[at:at] = text.split("\n")
+    if units_needed:
+        lines = _ensure_units_import(lines, units_needed)
+
+    new_source = "\n".join(lines) + ("\n" if trailing_newline else "")
+    if new_source != source:
+        path.write_text(new_source, encoding="utf-8")
+        return count
+    return 0
+
+
+def _apply_edits(lines: list[str], edits: Sequence[Edit]) -> list[str]:
+    """Apply span replacements right-to-left so columns stay valid;
+    overlapping spans keep only the first (leftmost reported)."""
+    by_line: dict[int, list[Edit]] = {}
+    for e in edits:
+        by_line.setdefault(e.line, []).append(e)
+    for lineno, line_edits in by_line.items():
+        if lineno < 1 or lineno > len(lines):
+            continue
+        line = lines[lineno - 1]
+        taken: list[tuple[int, int]] = []
+        for e in sorted(line_edits, key=lambda e: e.col, reverse=True):
+            if e.end_col > len(line) or e.col >= e.end_col:
+                continue
+            if any(e.col < hi and e.end_col > lo for lo, hi in taken):
+                continue
+            line = line[: e.col] + e.text + line[e.end_col :]
+            taken.append((e.col, e.end_col))
+        lines[lineno - 1] = line
+    return lines
+
+
+def _ensure_units_import(lines: list[str], needed: set[str]) -> list[str]:
+    """Guarantee ``from repro.units import <needed>`` resolves."""
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith(_UNITS_IMPORT_PREFIX) and "(" not in stripped:
+            names = {n.strip() for n in stripped[len(_UNITS_IMPORT_PREFIX):].split(",")}
+            missing = needed - names
+            if not missing:
+                return lines
+            merged = sorted(names | needed)
+            indent = line[: len(line) - len(line.lstrip())]
+            lines[i] = indent + _UNITS_IMPORT_PREFIX + ", ".join(merged)
+            return lines
+    at = _import_insert_index(lines)
+    lines[at:at] = [_UNITS_IMPORT_PREFIX + ", ".join(sorted(needed))]
+    return lines
+
+
+def _import_insert_index(lines: list[str]) -> int:
+    """0-based index where a new import belongs: after the future
+    import when present, else after the module docstring."""
+    for i, line in enumerate(lines):
+        if line.startswith("from __future__ import"):
+            return i + 1
+    in_doc = False
+    quote = ""
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not in_doc:
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped[:3] in ('"""', "'''"):
+                quote = stripped[:3]
+                if stripped.count(quote) >= 2 and len(stripped) > 3:
+                    return i + 1  # one-line docstring
+                in_doc = True
+                continue
+            return i  # first code line, no docstring
+        if quote in stripped:
+            return i + 1
+    return 0

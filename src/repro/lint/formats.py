@@ -1,0 +1,116 @@
+"""Machine-readable report formats (``repro lint --format``).
+
+``text`` is the classic one-line-per-finding report; ``json`` is a
+stable envelope for scripting (diagnostics plus engine counters, so CI
+can assert cache effectiveness); ``sarif`` is SARIF 2.1.0 — the
+interchange format GitHub code scanning and most editors ingest.  The
+SARIF document carries the full rule metadata table so viewers can
+render rule help without the repo checked out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintReport
+from repro.lint.registry import all_rules
+
+__all__ = ["FORMATS", "render_report"]
+
+FORMATS = ("text", "json", "sarif")
+
+_TOOL_NAME = "reprolint"
+_TOOL_VERSION = "2.0.0"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_report(report: LintReport, fmt: str) -> str:
+    """Serialize a :class:`LintReport` as ``text``, ``json`` or ``sarif``."""
+    if fmt == "text":
+        return "\n".join(d.render() for d in report.diagnostics)
+    if fmt == "json":
+        return json.dumps(_json_doc(report), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(_sarif_doc(report), indent=2)
+    raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}")
+
+
+def _json_doc(report: LintReport) -> dict[str, Any]:
+    return {
+        "tool": _TOOL_NAME,
+        "version": _TOOL_VERSION,
+        "files": report.files,
+        "parsed": report.parsed,
+        "cached": report.cached,
+        "diagnostics": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "name": d.name,
+                "message": d.message,
+            }
+            for d in report.diagnostics
+        ],
+    }
+
+
+def _sarif_doc(report: LintReport) -> dict[str, Any]:
+    rules_meta = [
+        {
+            "id": "E0",
+            "name": "parse-error",
+            "shortDescription": {"text": "file cannot be read or parsed"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    for rule in all_rules():
+        rules_meta.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+    results = [
+        {
+            "ruleId": d.code,
+            "level": "error" if d.code == "E0" else "warning",
+            "message": {"text": f"[{d.name}] {d.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": max(d.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for d in report.diagnostics
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _TOOL_VERSION,
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -6,13 +6,23 @@ Syntax, on the line the diagnostic is reported at::
 
 ``disable=`` takes a comma-separated list of rule codes (``R2``) or
 names (``unit-safety``); matching is case-insensitive.  ``disable=all``
-silences every rule on that line.  Pragmas are deliberately *narrow*:
-there is no file-level or block-level form — an exemption covers exactly
-one line, so each one is visible next to the code it excuses.
+silences every rule on that line.  Free-text justification may follow
+the list (``# reprolint: disable=R2,R3 measured fast``) — only the
+first whitespace-delimited token of each comma-separated chunk is a
+rule key, so trailing words never silence extra rules by accident.
+
+Pragmas are deliberately *narrow*: there is no file-level or
+block-level form — an exemption covers exactly one line, so each one is
+visible next to the code it excuses.  The one widening the engine
+applies: a pragma written on a **decorator line** also covers the
+``def``/``class`` line it decorates (diagnostics anchor on the ``def``
+line, but the decorator is often where the offending mark lives), see
+:func:`expand_decorator_pragmas`.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
@@ -27,11 +37,43 @@ def parse_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
         m = _PRAGMA_RE.search(text)
         if m is None:
             continue
-        keys = frozenset(
-            k.strip().lower() for k in m.group(1).split(",") if k.strip()
-        )
+        keys = set()
+        for chunk in m.group(1).split(","):
+            tokens = chunk.split()
+            if not tokens:
+                continue
+            keys.add(tokens[0].lower())
+            # everything after the first token of a chunk is free-text
+            # justification; stop scanning this pragma's chunks once a
+            # chunk carries trailing words (``disable=R2 measured fast``)
+            if len(tokens) > 1:
+                break
         if keys:
-            out[lineno] = keys
+            out[lineno] = frozenset(keys)
+    return out
+
+
+def expand_decorator_pragmas(
+    tree: ast.Module, pragmas: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Extend pragmas written on decorator lines to the decorated
+    ``def``/``class`` line, where diagnostics anchor."""
+    if not pragmas:
+        return pragmas
+    out = dict(pragmas)
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        gathered: set[str] = set()
+        for dec in node.decorator_list:
+            for lineno in range(dec.lineno, (dec.end_lineno or dec.lineno) + 1):
+                gathered |= pragmas.get(lineno, frozenset())
+        if gathered:
+            out[node.lineno] = out.get(node.lineno, frozenset()) | gathered
     return out
 
 

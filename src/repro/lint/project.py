@@ -1,0 +1,518 @@
+"""Whole-program semantic model for the project-scoped lint rules.
+
+The per-file rules (R1-R5) each walk one AST; the flow rules (R6-R8)
+need to see *across* call sites: who calls whom, with which arguments,
+against which signature.  This module builds that view:
+
+- a :class:`ModuleInfo` per linted file — the module's import bindings,
+  its function/method signatures, and a summary of every call site in
+  each function body;
+- a :class:`ProjectModel` over all files — dotted-name resolution of
+  call sites through ``repro.*`` imports (including re-exports through
+  package ``__init__`` modules), and the transitive *sampling closure*:
+  the set of functions that can reach a randomness sink
+  (``Distribution.sample``, ``numpy.random.default_rng``) through
+  resolved calls or function references.
+
+Everything here is a plain-data summary (dataclasses of str/int/bool),
+deliberately JSON-round-trippable so the incremental cache
+(:mod:`repro.lint.cache`) can persist per-file summaries and rebuild
+the whole-program model without re-parsing an unchanged tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.lint.rules.common import call_name, dotted_name
+
+__all__ = [
+    "ArgSummary",
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "SEED_PARAM_NAMES",
+    "build_module_info",
+    "module_name_for",
+]
+
+# Parameter / binding names that carry the reproducibility seed.
+SEED_PARAM_NAMES = frozenset({"seed", "rng", "ss", "seed_sequence", "random_state"})
+
+# Call tails that *consume* randomness: reaching one of these makes a
+# function part of the sampling closure.
+_SAMPLING_TAILS = frozenset({"sample", "sample_conditional"})
+
+
+@dataclass(frozen=True)
+class ArgSummary:
+    """Shape of one argument expression at a call site.
+
+    ``kind`` is ``"literal"`` (numeric constant, ``value`` set),
+    ``"name"`` (a Name or Attribute chain, ``name`` is the terminal
+    identifier, ``dotted`` the full chain), or ``"other"``.
+    """
+
+    kind: str
+    value: float | None = None
+    name: str | None = None
+    dotted: str | None = None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    callee: str  # dotted name as written, e.g. "np.random.default_rng"
+    lineno: int
+    col: int
+    args: tuple[ArgSummary, ...] = ()
+    keywords: tuple[tuple[str, ArgSummary], ...] = ()
+    has_star_args: bool = False
+    has_star_kwargs: bool = False
+
+    def keyword_names(self) -> set[str]:
+        """Names of every keyword argument passed at this site."""
+        return {k for k, _ in self.keywords}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One parameter of a function signature."""
+
+    name: str
+    kind: str  # "pos" (positional-or-keyword / positional-only) or "kw"
+    has_default: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """Signature + body summary of one function or method."""
+
+    name: str
+    qualname: str  # module-relative, e.g. "ParallelRunner.run"
+    lineno: int
+    col: int
+    params: list[Param] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    # (name, lineno, col) of assignments that rebind a seed-carrying
+    # name to a constant-only expression — R6's "shadow" hazard.
+    seed_shadows: list[tuple[str, int, int]] = field(default_factory=list)
+    samples_directly: bool = False
+    is_test: bool = False
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    def param_names(self) -> list[str]:
+        """All parameter names, in signature order."""
+        return [p.name for p in self.params]
+
+    def seed_params(self) -> set[str]:
+        """Parameters that carry the reproducibility seed, if any."""
+        return {p.name for p in self.params if p.name in SEED_PARAM_NAMES}
+
+    def positional_params(self) -> list[Param]:
+        """Positional slots as seen by a caller (leading self/cls dropped
+        for methods)."""
+        params = [p for p in self.params if p.kind == "pos"]
+        if "." in self.qualname and params and params[0].name in ("self", "cls"):
+            params = params[1:]
+        return params
+
+
+@dataclass
+class ModuleInfo:
+    """Summary of one linted file."""
+
+    module: str  # dotted module name ("repro.cli", "tests.test_lint", ...)
+    path: str  # posix path the file was linted at
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> target
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    exports: list[str] = field(default_factory=list)  # literal __all__
+    strings: list[str] = field(default_factory=list)  # every str constant
+    # top-level NAME = "string constant" bindings
+    constants: dict[str, str] = field(default_factory=dict)
+
+    # -- serialization (for the incremental cache) ---------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-data form for the incremental cache."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ModuleInfo":
+        functions = {}
+        for qual, fn in data.get("functions", {}).items():
+            functions[qual] = FunctionInfo(
+                name=fn["name"],
+                qualname=fn["qualname"],
+                lineno=fn["lineno"],
+                col=fn["col"],
+                params=[Param(**p) for p in fn.get("params", [])],
+                calls=[
+                    CallSite(
+                        callee=c["callee"],
+                        lineno=c["lineno"],
+                        col=c["col"],
+                        args=tuple(ArgSummary(**a) for a in c.get("args", [])),
+                        keywords=tuple(
+                            (k, ArgSummary(**a)) for k, a in c.get("keywords", [])
+                        ),
+                        has_star_args=c.get("has_star_args", False),
+                        has_star_kwargs=c.get("has_star_kwargs", False),
+                    )
+                    for c in fn.get("calls", [])
+                ],
+                seed_shadows=[tuple(s) for s in fn.get("seed_shadows", [])],
+                samples_directly=fn.get("samples_directly", False),
+                is_test=fn.get("is_test", False),
+            )
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            imports=dict(data.get("imports", {})),
+            functions=functions,
+            exports=list(data.get("exports", [])),
+            strings=list(data.get("strings", [])),
+            constants=dict(data.get("constants", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# building a ModuleInfo from an AST
+# ----------------------------------------------------------------------
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name: walk up while directories are packages.
+
+    ``src/repro/simulation/runner.py`` -> ``repro.simulation.runner``;
+    a file whose directory has no ``__init__.py`` is its own top-level
+    module (``conftest``).
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _summarize_arg(node: ast.expr) -> ArgSummary:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return ArgSummary(kind="other")
+        return ArgSummary(kind="literal", value=float(node.value))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _summarize_arg(node.operand)
+        if inner.kind == "literal" and inner.value is not None:
+            sign = -1.0 if isinstance(node.op, ast.USub) else 1.0
+            return ArgSummary(kind="literal", value=sign * inner.value)
+        return ArgSummary(kind="other")
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return ArgSummary(kind="name", name=dotted.split(".")[-1], dotted=dotted)
+    return ArgSummary(kind="other")
+
+
+def _expr_is_constant_only(node: ast.expr) -> bool:
+    """No Name/Attribute appears in data position — e.g. ``0``,
+    ``default_rng()``, ``SeedSequence([1, 2])``.  The *callee* of a call
+    is ignored (``np.random.default_rng`` is plumbing, not data)."""
+    if isinstance(node, ast.Call):
+        return all(_expr_is_constant_only(a) for a in node.args) and all(
+            _expr_is_constant_only(kw.value) for kw in node.keywords
+        )
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return False
+    return all(
+        _expr_is_constant_only(child)
+        for child in ast.iter_child_nodes(node)
+        if isinstance(child, ast.expr)
+    )
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect call sites, sampling sinks and seed shadows of one body."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs get their own FunctionInfo
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name is not None:
+            tail = name.split(".")[-1]
+            if tail in _SAMPLING_TAILS:
+                self.info.samples_directly = True
+            self.info.calls.append(
+                CallSite(
+                    callee=name,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    args=tuple(
+                        _summarize_arg(a)
+                        for a in node.args
+                        if not isinstance(a, ast.Starred)
+                    ),
+                    keywords=tuple(
+                        (kw.arg, _summarize_arg(kw.value))
+                        for kw in node.keywords
+                        if kw.arg is not None
+                    ),
+                    has_star_args=any(
+                        isinstance(a, ast.Starred) for a in node.args
+                    ),
+                    has_star_kwargs=any(
+                        kw.arg is None for kw in node.keywords
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in SEED_PARAM_NAMES
+                and _expr_is_constant_only(node.value)
+            ):
+                self.info.seed_shadows.append(
+                    (target.id, node.lineno, node.col_offset)
+                )
+        self.generic_visit(node)
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, qualprefix: str
+) -> FunctionInfo:
+    qualname = f"{qualprefix}{node.name}"
+    args = node.args
+    params: list[Param] = []
+    positional = [*args.posonlyargs, *args.args]
+    n_without_default = len(positional) - len(args.defaults)
+    for i, a in enumerate(positional):
+        params.append(Param(a.arg, "pos", has_default=i >= n_without_default))
+    for a, d in zip(args.kwonlyargs, args.kw_defaults):
+        params.append(Param(a.arg, "kw", has_default=d is not None))
+    info = FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        lineno=node.lineno,
+        col=node.col_offset,
+        params=params,
+        is_test=node.name.startswith("test_"),
+    )
+    scanner = _FunctionScanner(info)
+    for stmt in node.body:
+        scanner.visit(stmt)
+    return info
+
+
+def _walk_definitions(
+    body: list[ast.stmt], qualprefix: str
+) -> Iterator[FunctionInfo]:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(stmt, qualprefix)
+            yield info
+            yield from _walk_definitions(
+                stmt.body, qualprefix=f"{info.qualname}."
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            yield from _walk_definitions(
+                stmt.body, qualprefix=f"{qualprefix}{stmt.name}."
+            )
+
+
+def build_module_info(path: Path, tree: ast.Module) -> ModuleInfo:
+    """Summarize one parsed file for the whole-program pass."""
+    module = module_name_for(path)
+    info = ModuleInfo(module=module, path=path.as_posix())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:  # relative import: resolve against the package
+                anchor = module.split(".")
+                if not path.name == "__init__.py":
+                    anchor = anchor[:-1]
+                anchor = anchor[: len(anchor) - (node.level - 1)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            info.strings.append(node.value)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if (
+                "__all__" in names
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                info.exports = [
+                    e.value
+                    for e in stmt.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+            if (
+                len(names) == 1
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                info.constants[names[0]] = stmt.value.value
+    for fn in _walk_definitions(tree.body, qualprefix=""):
+        info.functions[fn.qualname] = fn
+    return info
+
+
+# ----------------------------------------------------------------------
+# the whole-program model
+# ----------------------------------------------------------------------
+
+
+class ProjectModel:
+    """Cross-module view: name resolution, call graph, sampling closure."""
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.modules: dict[str, ModuleInfo] = {m.module: m for m in modules}
+        self._function_index: dict[str, tuple[ModuleInfo, FunctionInfo]] = {}
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                self._function_index[f"{mod.module}.{fn.qualname}"] = (mod, fn)
+        self._sampling: set[str] | None = None
+
+    # -- lookups -------------------------------------------------------
+
+    def functions(self) -> Iterator[tuple[ModuleInfo, FunctionInfo]]:
+        """Every (module, function) pair in the model."""
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                yield mod, fn
+
+    def function(self, fqid: str) -> tuple[ModuleInfo, FunctionInfo] | None:
+        """Look up a function by fully-qualified id, if present."""
+        return self._function_index.get(fqid)
+
+    def find_module(self, suffix: str) -> ModuleInfo | None:
+        """Module whose dotted name is ``suffix`` or ends with ``.suffix``."""
+        for name, mod in sorted(self.modules.items()):
+            if name == suffix or name.endswith(f".{suffix}"):
+                return mod
+        return None
+
+    def modules_matching(self, segment: str) -> list[ModuleInfo]:
+        """Modules whose dotted name contains ``segment`` as a component."""
+        return [
+            m
+            for name, m in sorted(self.modules.items())
+            if segment in name.split(".")
+        ]
+
+    # -- name resolution -----------------------------------------------
+
+    def resolve(self, module: ModuleInfo, callee: str) -> str | None:
+        """Fully-qualified id of a call target, or None if unresolvable.
+
+        Follows import aliases of the calling module, then chases
+        re-exports through package ``__init__`` bindings (bounded), so
+        ``Exponential.from_mtbf`` called under
+        ``from repro.distributions import Exponential`` lands on
+        ``repro.distributions.exponential.Exponential.from_mtbf``.
+        """
+        head, _, rest = callee.partition(".")
+        if head == "self" or head == "cls":
+            # method call on the own class: resolve within this module
+            # by scanning for a method qualname ending with ".<rest>"
+            if rest and "." not in rest:
+                for qual in module.functions:
+                    if qual.endswith(f".{rest}"):
+                        return f"{module.module}.{qual}"
+            return None
+        if callee in module.functions:
+            return f"{module.module}.{callee}"
+        if head in module.imports:
+            target = module.imports[head] + (f".{rest}" if rest else "")
+        elif head in self.modules and rest:
+            target = callee
+        else:
+            return None
+        return self._chase(target)
+
+    def _chase(self, target: str, depth: int = 0) -> str | None:
+        """Normalize ``target`` through re-export bindings to a function
+        id present in the index, or return it unresolved-but-final."""
+        if depth > 8:
+            return target
+        if target in self._function_index:
+            return target
+        # split into (module prefix, remainder) at the longest known module
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                mod = self.modules[prefix]
+                remainder = parts[cut:]
+                bound = remainder[0]
+                if bound in mod.imports:
+                    rebased = ".".join([mod.imports[bound], *remainder[1:]])
+                    return self._chase(rebased, depth + 1)
+                return target
+        return target
+
+    # -- sampling closure ----------------------------------------------
+
+    def sampling_functions(self) -> set[str]:
+        """Fully-qualified ids of functions that reach a randomness sink
+        through resolved calls or function-reference arguments."""
+        if self._sampling is not None:
+            return self._sampling
+        sampling: set[str] = {
+            f"{mod.module}.{fn.qualname}"
+            for mod, fn in self.functions()
+            if fn.samples_directly
+        }
+        # reverse edges: callee/reference id -> set of caller ids
+        callers: dict[str, set[str]] = {}
+        for mod, fn in self.functions():
+            caller_id = f"{mod.module}.{fn.qualname}"
+            for call in fn.calls:
+                resolved = self.resolve(mod, call.callee)
+                if resolved is not None:
+                    callers.setdefault(resolved, set()).add(caller_id)
+                # function references passed as arguments create
+                # potential edges too (executor.map(fn, ...), etc.)
+                for arg in call.args:
+                    if arg.kind == "name" and arg.dotted:
+                        ref = self.resolve(mod, arg.dotted)
+                        if ref is not None:
+                            callers.setdefault(ref, set()).add(caller_id)
+        frontier = list(sampling)
+        while frontier:
+            fn_id = frontier.pop()
+            for caller in callers.get(fn_id, ()):
+                if caller not in sampling:
+                    sampling.add(caller)
+                    frontier.append(caller)
+        self._sampling = sampling
+        return sampling

@@ -1,23 +1,31 @@
 """Rule registry.
 
-A rule is a class with ``code`` (``"R1"``..), ``name`` (pragma-friendly
-slug), ``description``, and a ``check(ctx)`` generator yielding
-:class:`~repro.lint.diagnostics.Diagnostic`.  Registration happens at
-import time via the :func:`register` decorator; importing
+Two kinds of rule share one registry:
+
+- **per-file rules** (R1-R5) expose ``check(ctx)`` over a parsed
+  :class:`~repro.lint.engine.FileContext`;
+- **project rules** (R6-R8) expose ``check_project(model)`` over the
+  whole-program :class:`~repro.lint.project.ProjectModel` built from
+  every linted file.
+
+Either way a rule is a class with ``code`` (``"R1"``..), ``name``
+(pragma-friendly slug) and ``description``; registration happens at
+import time via the :func:`register` decorator, and importing
 :mod:`repro.lint.rules` pulls in every built-in rule.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.diagnostics import Diagnostic
     from repro.lint.engine import FileContext
+    from repro.lint.project import ProjectModel
 
 
 class LintRule(Protocol):
-    """Interface every registered rule satisfies."""
+    """Interface every per-file rule satisfies."""
 
     code: str
     name: str
@@ -25,6 +33,19 @@ class LintRule(Protocol):
 
     def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
         """Yield diagnostics for one parsed file."""
+        ...
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """Interface every whole-program rule satisfies."""
+
+    code: str
+    name: str
+    description: str
+
+    def check_project(self, model: "ProjectModel") -> Iterator["Diagnostic"]:
+        """Yield diagnostics over the cross-module semantic model."""
         ...
 
 
@@ -42,16 +63,22 @@ def register(cls: type) -> type:
     return cls
 
 
+def is_project_rule(rule: object) -> bool:
+    """True for whole-program rules (``check_project``), False for
+    per-file rules (``check``)."""
+    return hasattr(rule, "check_project")
+
+
 def _load_builtin_rules() -> None:
     # Import for the side effect of @register; idempotent.
     import repro.lint.rules  # noqa: F401
 
 
 def all_rules() -> list[LintRule]:
-    """Every registered rule, ordered by code (R1, R2, ...)."""
+    """Every registered rule, ordered by code (R1, R2, ... R10)."""
     _load_builtin_rules()
     unique = {id(r): r for r in _REGISTRY.values()}
-    return sorted(unique.values(), key=lambda r: r.code)
+    return sorted(unique.values(), key=lambda r: (len(r.code), r.code))
 
 
 def get_rule(key: str) -> LintRule:
@@ -69,4 +96,4 @@ def resolve_selection(select: Iterable[str] | None) -> list[LintRule]:
     if select is None:
         return all_rules()
     picked = {id(get_rule(k)): get_rule(k) for k in select}
-    return sorted(picked.values(), key=lambda r: r.code)
+    return sorted(picked.values(), key=lambda r: (len(r.code), r.code))

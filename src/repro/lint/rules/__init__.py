@@ -11,7 +11,10 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     api_hygiene,
     determinism,
     float_compare,
+    registry_conformance,
+    seed_flow,
     test_discipline,
+    unit_propagation,
     unit_safety,
 )
 
@@ -19,6 +22,9 @@ __all__ = [
     "api_hygiene",
     "determinism",
     "float_compare",
+    "registry_conformance",
+    "seed_flow",
     "test_discipline",
+    "unit_propagation",
     "unit_safety",
 ]

@@ -9,8 +9,10 @@ Two failure modes this repo has already paid for:
   a recorded outcome, not be caught-and-ignored into a bogus makespan.
 
 This rule flags mutable defaults (``[]``, ``{}``, ``set()`` and
-friends), bare ``except:``, and ``except Exception: pass``-style
-handlers that discard the error without re-raising or recording it.
+friends), bare ``except:``, ``except Exception: pass``-style handlers
+that discard the error without re-raising or recording it, and modules
+that drop the repo-wide ``from __future__ import annotations``
+convention (mechanically autofixable via ``repro lint --fix``).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.diagnostics import Diagnostic
+from repro.lint.diagnostics import Diagnostic, Fix
 from repro.lint.engine import FileContext
 from repro.lint.registry import register
 from repro.lint.rules.common import dotted_name
@@ -68,10 +70,12 @@ class ApiHygieneRule:
     name = "api-hygiene"
     description = (
         "no mutable default arguments; no bare except or swallowed "
-        "broad Exception handlers"
+        "broad Exception handlers; modules carry "
+        "'from __future__ import annotations'"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._check_future_import(ctx)
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 args = node.args
@@ -102,3 +106,49 @@ class ApiHygieneRule:
                         "pass); handle it, re-raise, or record the failure "
                         "(cf. PolicyInfeasibleError)",
                     )
+
+    def _check_future_import(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Modules with code must opt into postponed annotations — the
+        repo-wide typing convention (docs/development.md)."""
+        body = ctx.tree.body
+        docstring_end = 0
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            docstring_end = body[0].end_lineno or body[0].lineno
+            body = body[1:]
+        if not body:
+            return  # empty or docstring-only module
+        for stmt in body:
+            if (
+                isinstance(stmt, ast.ImportFrom)
+                and stmt.module == "__future__"
+                and any(a.name == "annotations" for a in stmt.names)
+            ):
+                return
+        insert_at = docstring_end + 1
+        text = "from __future__ import annotations"
+        following = (
+            ctx.lines[insert_at - 1] if insert_at - 1 < len(ctx.lines) else ""
+        )
+        if docstring_end:
+            text = "\n" + text
+            if following.strip():
+                text += "\n"
+        elif following.strip():
+            text += "\n"
+        yield Diagnostic(
+            path=ctx.posix_path,
+            line=1,
+            col=1,
+            code=self.code,
+            name=self.name,
+            message=(
+                "module lacks 'from __future__ import annotations' "
+                "(repo typing convention; autofixable with --fix)"
+            ),
+            fix=Fix(insert_line=(insert_at, text)),
+        )

@@ -1,0 +1,174 @@
+"""R8 — registry-conformance (whole-program).
+
+The paper's simulation study compares exactly ten policies (Section
+4.1): LowerBound, PeriodLB, Young, DalyLow, DalyHigh, Liu, Bouguerra,
+OptExp, DPNextFailure and DPMakespan.  Those ten are registered in four
+independent places that have historically drifted in reproductions:
+the ``policies`` package registration (``__all__``), the CLI policy
+choices, the ``experiments/`` scenario tables, and the EXPERIMENTS.md
+results narrative.  R8 cross-checks all four against the canonical
+roster whenever the linted tree contains a ``policies`` package:
+
+- every policy class must be exported from ``policies/__init__``;
+- every CLI key (``young`` … ``dpmakespan``) must appear in the CLI
+  module;
+- every policy class must be constructed by some ``experiments/``
+  scenario table;
+- the runner must declare the two synthetic entries (``LowerBound``,
+  ``PeriodLB``) as its column constants;
+- ``EXPERIMENTS.md`` (found walking up from the policies package) must
+  mention every display name.
+
+Sub-checks silently skip when their source is absent from the lint
+scope (linting ``tests/`` alone never activates R8), so partial lints
+stay quiet while the full-tree lint enforces agreement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, ProjectModel
+from repro.lint.registry import register
+
+# The canonical roster.  Order follows the paper's tables.
+_POLICY_CLASSES = (
+    "Young",
+    "DalyLow",
+    "DalyHigh",
+    "OptExp",
+    "Bouguerra",
+    "Liu",
+    "DPNextFailurePolicy",
+    "DPMakespanPolicy",
+)
+_CLI_KEYS = (
+    "young",
+    "dalylow",
+    "dalyhigh",
+    "optexp",
+    "bouguerra",
+    "liu",
+    "dpnextfailure",
+    "dpmakespan",
+)
+_RUNNER_CONSTANTS = ("LowerBound", "PeriodLB")
+_DISPLAY_NAMES = (
+    "LowerBound",
+    "PeriodLB",
+    "Young",
+    "DalyLow",
+    "DalyHigh",
+    "Liu",
+    "Bouguerra",
+    "OptExp",
+    "DPNextFailure",
+    "DPMakespan",
+)
+
+
+@register
+class RegistryConformanceRule:
+    code = "R8"
+    name = "registry-conformance"
+    description = (
+        "the ten paper policies must agree across policies/__init__ "
+        "registration, CLI choices, experiments/ scenario tables, "
+        "runner constants and EXPERIMENTS.md"
+    )
+
+    def check(self, ctx) -> Iterator[Diagnostic]:  # pragma: no cover
+        return iter(())  # whole-program rule; see check_project
+
+    def check_project(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        policies = model.find_module("policies")
+        if policies is None:
+            return  # tree without a policy registry: rule inactive
+
+        for cls in _POLICY_CLASSES:
+            if cls not in policies.exports:
+                yield self._diag(
+                    policies.path,
+                    f"policy '{cls}' is not exported from the policies "
+                    "package __all__; the registration layer lost it",
+                )
+
+        cli = model.find_module("cli")
+        if cli is not None:
+            known = set(cli.strings)
+            for key in _CLI_KEYS:
+                if key not in known:
+                    yield self._diag(
+                        cli.path,
+                        f"CLI exposes no '{key}' policy choice; "
+                        "the command line drifted from the paper roster",
+                    )
+
+        experiments = model.modules_matching("experiments")
+        if experiments:
+            constructed: set[str] = set()
+            mentioned: set[str] = set()
+            for mod in experiments:
+                mentioned.update(mod.strings)
+                for fn in mod.functions.values():
+                    for call in fn.calls:
+                        constructed.add(call.callee.split(".")[-1])
+            anchor = experiments[0].path
+            for cls in _POLICY_CLASSES:
+                if cls not in constructed and cls not in mentioned:
+                    yield self._diag(
+                        anchor,
+                        f"policy '{cls}' is never constructed in any "
+                        "experiments/ scenario table; the simulation "
+                        "study no longer covers the paper roster",
+                    )
+
+        runner = model.find_module("runner")
+        if runner is not None:
+            declared = set(runner.constants.values())
+            for name in _RUNNER_CONSTANTS:
+                if name not in declared:
+                    yield self._diag(
+                        runner.path,
+                        f"runner does not declare the synthetic "
+                        f"'{name}' column constant; degradation tables "
+                        "will miss the paper's reference entry",
+                    )
+
+        md = self._find_experiments_md(policies)
+        if md is not None:
+            try:
+                text = md.read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            for name in _DISPLAY_NAMES:
+                if name not in text:
+                    yield self._diag(
+                        md.as_posix(),
+                        f"EXPERIMENTS.md never mentions policy '{name}'; "
+                        "the results narrative drifted from the roster",
+                    )
+
+    @staticmethod
+    def _find_experiments_md(policies: ModuleInfo) -> Path | None:
+        node = Path(policies.path).resolve().parent
+        for _ in range(5):
+            candidate = node / "EXPERIMENTS.md"
+            if candidate.is_file():
+                return candidate
+            if node.parent == node:
+                break
+            node = node.parent
+        return None
+
+    def _diag(self, path: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=path,
+            line=1,
+            col=1,
+            code=self.code,
+            name=self.name,
+            message=message,
+        )

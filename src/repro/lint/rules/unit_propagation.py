@@ -1,0 +1,166 @@
+"""R7 — unit-propagation (whole-program).
+
+R2 keeps single files honest about seconds; R7 follows the quantities
+*across* call sites.  Using the signature metadata in the
+:class:`~repro.lint.project.ProjectModel`, every resolved call is
+checked argument-by-argument against the callee's parameter names:
+
+- a **bare 60/3600/86400-multiple literal** passed positionally into a
+  time-typed parameter (R2 only sees keyword positions; the positional
+  form is how cross-module unit bugs actually ship);
+- an argument whose **name carries a non-second unit suffix**
+  (``timeout_ms``, ``delay_hours``) flowing into a time-typed slot;
+- a **count-valued name** (``n_units``, ``num_traces``) flowing into a
+  time-typed slot, or a **time-valued name** flowing into a count-typed
+  slot — the ``W(p)``-vs-seconds mix-up that corrupts checkpoint
+  interval formulas silently.
+
+Time- and count-typedness reuse R2's token classifier, so the two rules
+can never disagree about what a duration is.  Test modules are exempt
+(constructed literals are idiomatic in tests); keyword-literal
+positions stay R2's jurisdiction so no call site is flagged twice.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import (
+    ArgSummary,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.lint.registry import register
+from repro.lint.rules.unit_safety import (
+    _BAD_UNIT_SUFFIXES,
+    _COUNT_TOKENS,
+    _is_time_name,
+    _suggest,
+)
+
+
+def _is_count_name(name: str) -> bool:
+    if _is_time_name(name):
+        return False
+    tokens = name.lower().split("_")
+    return any(tok in _COUNT_TOKENS for tok in tokens)
+
+
+def _is_test_module(mod: ModuleInfo) -> bool:
+    name = PurePosixPath(mod.path).name
+    return name.startswith("test_") or name == "conftest.py"
+
+
+@register
+class UnitPropagationRule:
+    code = "R7"
+    name = "unit-propagation"
+    description = (
+        "arguments must match the unit of the parameter they flow into: "
+        "no bare 60-multiple literals or non-second/count-valued names "
+        "passed into time-typed slots across call sites"
+    )
+
+    def check(self, ctx) -> Iterator[Diagnostic]:  # pragma: no cover
+        return iter(())  # whole-program rule; see check_project
+
+    def check_project(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        for mod in sorted(model.modules.values(), key=lambda m: m.path):
+            if _is_test_module(mod):
+                continue
+            if PurePosixPath(mod.path).name == "units.py":
+                continue
+            for fn in mod.functions.values():
+                for call in fn.calls:
+                    resolved = model.resolve(mod, call.callee)
+                    if resolved is None:
+                        continue
+                    target = model.function(resolved)
+                    if target is None:
+                        continue
+                    yield from self._check_call(mod, call, target[1])
+
+    def _check_call(
+        self, mod: ModuleInfo, call, callee: FunctionInfo
+    ) -> Iterator[Diagnostic]:
+        positional = callee.positional_params()
+        for index, arg in enumerate(call.args):
+            if index >= len(positional):
+                break
+            param = positional[index].name
+            yield from self._check_slot(
+                mod, call, callee, param, arg, allow_literal=True
+            )
+        param_names = set(callee.param_names())
+        for kw, arg in call.keywords:
+            if kw not in param_names:
+                continue
+            # literal keywords are R2's jurisdiction — names only here
+            yield from self._check_slot(
+                mod, call, callee, kw, arg, allow_literal=False
+            )
+
+    def _check_slot(
+        self,
+        mod: ModuleInfo,
+        call,
+        callee: FunctionInfo,
+        param: str,
+        arg: ArgSummary,
+        allow_literal: bool,
+    ) -> Iterator[Diagnostic]:
+        time_slot = _is_time_name(param)
+        if time_slot:
+            if (
+                allow_literal
+                and arg.kind == "literal"
+                and arg.value is not None
+                and arg.value >= 60
+                and arg.value % 60 == 0
+            ):
+                yield self._diag(
+                    mod,
+                    call,
+                    f"bare literal {arg.value:g} flows into time-typed "
+                    f"parameter '{param}' of '{callee.qualname}'; write "
+                    f"{_suggest(arg.value)} from repro.units",
+                )
+            elif arg.kind == "name" and arg.name is not None:
+                if arg.name.lower().endswith(_BAD_UNIT_SUFFIXES):
+                    yield self._diag(
+                        mod,
+                        call,
+                        f"'{arg.name}' names a non-second unit but flows "
+                        f"into time-typed parameter '{param}' of "
+                        f"'{callee.qualname}' (all times are seconds)",
+                    )
+                elif _is_count_name(arg.name):
+                    yield self._diag(
+                        mod,
+                        call,
+                        f"count-valued '{arg.name}' flows into time-typed "
+                        f"parameter '{param}' of '{callee.qualname}'; "
+                        "a W(p)/count quantity is not a duration",
+                    )
+        elif _is_count_name(param):
+            if arg.kind == "name" and arg.name is not None and _is_time_name(arg.name):
+                yield self._diag(
+                    mod,
+                    call,
+                    f"time-valued '{arg.name}' flows into count-typed "
+                    f"parameter '{param}' of '{callee.qualname}'; "
+                    "a duration is not a count",
+                )
+
+    def _diag(self, mod: ModuleInfo, call, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=mod.path,
+            line=call.lineno,
+            col=call.col + 1,
+            code=self.code,
+            name=self.name,
+            message=message,
+        )

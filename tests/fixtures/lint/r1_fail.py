@@ -1,5 +1,7 @@
 """R1 fixture: global-state RNGs and an unseeded trace generator."""
 
+from __future__ import annotations
+
 import random
 
 import numpy as np

@@ -1,5 +1,7 @@
 """R1 fixture: the explicit-seed API threads a SeedSequence everywhere."""
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro.traces import generate_platform_traces

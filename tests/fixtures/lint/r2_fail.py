@@ -1,5 +1,7 @@
 """R2 fixture: bare 60/3600/86400 multiples in time-valued positions."""
 
+from __future__ import annotations
+
 
 def plan(work: float = 20 * 86400.0, checkpoint: float = 3600):
     mtbf = 86400.0

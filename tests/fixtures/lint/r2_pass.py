@@ -1,5 +1,7 @@
 """R2 fixture: durations spelled with repro.units constants."""
 
+from __future__ import annotations
+
 from repro.units import DAY, HOUR, MINUTE
 
 

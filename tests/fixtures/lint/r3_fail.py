@@ -1,5 +1,7 @@
 """R3 fixture: exact float comparisons outside tolerance helpers."""
 
+from __future__ import annotations
+
 
 def converged(error: float) -> bool:
     return error == 0.0

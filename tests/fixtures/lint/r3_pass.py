@@ -1,5 +1,7 @@
 """R3 fixture: tolerance-based float comparison, plus an approved helper."""
 
+from __future__ import annotations
+
 import math
 
 

@@ -1,5 +1,7 @@
 """R4 fixture: mutable default, bare except, swallowed Exception."""
 
+from __future__ import annotations
+
 
 def accumulate(value, into=[]):
     into.append(value)

@@ -1,5 +1,7 @@
 """R4 fixture: None defaults and narrow, recorded error handling."""
 
+from __future__ import annotations
+
 
 class SolverInfeasibleError(Exception):
     pass

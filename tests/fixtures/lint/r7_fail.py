@@ -1,0 +1,20 @@
+"""R7 fixture: unit mismatches across resolved call sites."""
+
+from __future__ import annotations
+
+
+def simulate(work, checkpoint, n_traces):
+    return (work, checkpoint, n_traces)
+
+
+def grid(n_points, horizon):
+    return [horizon] * n_points
+
+
+def run_fast():
+    delay_ms = 250
+    return simulate(86400, delay_ms, 5)
+
+
+def run_swapped(n_points, horizon):
+    return grid(horizon, n_points)

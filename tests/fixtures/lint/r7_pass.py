@@ -1,0 +1,22 @@
+"""R7 fixture: units agree across call sites."""
+
+from __future__ import annotations
+
+from repro.units import DAY
+
+
+def simulate(work, checkpoint, n_traces):
+    return (work, checkpoint, n_traces)
+
+
+def grid(n_points, horizon):
+    return [horizon] * n_points
+
+
+def run_fast():
+    delay_s = 250.0
+    return simulate(DAY, delay_s, 5)
+
+
+def run_grid(n_points, horizon):
+    return grid(n_points, horizon)

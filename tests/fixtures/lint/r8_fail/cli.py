@@ -1,0 +1,13 @@
+"""R8 fixture: the command line dropped one key."""
+
+from __future__ import annotations
+
+POLICY_CHOICES = (
+    "young",
+    "dalylow",
+    "dalyhigh",
+    "optexp",
+    "bouguerra",
+    "dpnextfailure",
+    "dpmakespan",
+)

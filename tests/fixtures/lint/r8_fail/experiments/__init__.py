@@ -1,0 +1,26 @@
+"""R8 fixture: one table entry is no longer constructed."""
+
+from __future__ import annotations
+
+from policies import (
+    DalyHigh,
+    DalyLow,
+    DPMakespanPolicy,
+    DPNextFailurePolicy,
+    Liu,
+    OptExp,
+    Young,
+)
+
+
+def scenario_policies():
+    """An incomplete roster."""
+    return [
+        Young(),
+        DalyLow(),
+        DalyHigh(),
+        OptExp(),
+        Liu(),
+        DPNextFailurePolicy(),
+        DPMakespanPolicy(),
+    ]

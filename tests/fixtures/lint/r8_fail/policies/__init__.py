@@ -1,0 +1,13 @@
+"""R8 fixture: the registration layer lost an export."""
+
+from __future__ import annotations
+
+__all__ = [
+    "Young",
+    "DalyLow",
+    "OptExp",
+    "Bouguerra",
+    "Liu",
+    "DPNextFailurePolicy",
+    "DPMakespanPolicy",
+]

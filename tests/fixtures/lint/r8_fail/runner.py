@@ -1,0 +1,5 @@
+"""R8 fixture: one synthetic column constant is missing."""
+
+from __future__ import annotations
+
+LOWER_BOUND = "LowerBound"

@@ -1,0 +1,14 @@
+"""R8 fixture: the command line offers every paper policy key."""
+
+from __future__ import annotations
+
+POLICY_CHOICES = (
+    "young",
+    "dalylow",
+    "dalyhigh",
+    "optexp",
+    "bouguerra",
+    "liu",
+    "dpnextfailure",
+    "dpmakespan",
+)

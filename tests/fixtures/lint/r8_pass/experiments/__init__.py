@@ -1,0 +1,28 @@
+"""R8 fixture: the scenario table constructs the full roster."""
+
+from __future__ import annotations
+
+from policies import (
+    Bouguerra,
+    DalyHigh,
+    DalyLow,
+    DPMakespanPolicy,
+    DPNextFailurePolicy,
+    Liu,
+    OptExp,
+    Young,
+)
+
+
+def scenario_policies():
+    """One instance of each constructed entry."""
+    return [
+        Young(),
+        DalyLow(),
+        DalyHigh(),
+        OptExp(),
+        Bouguerra(),
+        Liu(),
+        DPNextFailurePolicy(),
+        DPMakespanPolicy(),
+    ]

@@ -1,0 +1,14 @@
+"""R8 fixture: the registration layer exports the full roster."""
+
+from __future__ import annotations
+
+__all__ = [
+    "Young",
+    "DalyLow",
+    "DalyHigh",
+    "OptExp",
+    "Bouguerra",
+    "Liu",
+    "DPNextFailurePolicy",
+    "DPMakespanPolicy",
+]

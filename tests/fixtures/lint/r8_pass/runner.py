@@ -1,0 +1,6 @@
+"""R8 fixture: the runner declares both synthetic column constants."""
+
+from __future__ import annotations
+
+LOWER_BOUND = "LowerBound"
+PERIOD_LB = "PeriodLB"

@@ -1,5 +1,7 @@
 """R1 fixture: wall-clock read inside a simulation/ hot path."""
 
+from __future__ import annotations
+
 import time
 
 

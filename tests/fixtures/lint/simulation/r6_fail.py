@@ -1,0 +1,28 @@
+"""R6 fixture: every seed-flow hazard in a seeded package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_failures(dist, rng):
+    return dist.sample(rng, 8)
+
+
+def make_generator():
+    return np.random.default_rng()
+
+
+def collect(dist):
+    rng = np.random.default_rng(0)
+    return sample_failures(dist, rng)
+
+
+def driver(dist, seed):
+    return sample_failures(dist)
+
+
+def replay(dist, seed):
+    seed = 1234
+    rng = np.random.default_rng(seed)
+    return sample_failures(dist, rng)

@@ -1,0 +1,18 @@
+"""R6 fixture: the seed threads from the entry point to the sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_failures(dist, rng):
+    return dist.sample(rng, 8)
+
+
+def collect(dist, seed):
+    rng = np.random.default_rng(seed)
+    return sample_failures(dist, rng)
+
+
+def driver(dist, seed):
+    return collect(dist, seed=seed)

@@ -1,5 +1,7 @@
 """R5 fixture: statically expensive test without @pytest.mark.slow."""
 
+from __future__ import annotations
+
 from repro.simulation import simulate_job
 
 

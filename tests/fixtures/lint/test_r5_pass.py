@@ -1,5 +1,7 @@
 """R5 fixture: the expensive test is marked slow; the cheap one is not."""
 
+from __future__ import annotations
+
 import pytest
 
 from repro.simulation import simulate_job

@@ -1,5 +1,7 @@
 """Bootstrap confidence intervals."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

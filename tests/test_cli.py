@@ -1,5 +1,7 @@
 """CLI: argument parsing and end-to-end subcommands."""
 
+from __future__ import annotations
+
 import argparse
 
 import pytest

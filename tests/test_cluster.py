@@ -1,5 +1,7 @@
 """Work models, overhead models, platform, presets."""
 
+from __future__ import annotations
+
 import pytest
 
 from repro.cluster import (

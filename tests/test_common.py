@@ -1,5 +1,7 @@
 """Experiment plumbing: distributions-by-name, policy sets, NaN paths."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

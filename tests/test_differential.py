@@ -1,6 +1,8 @@
 """Differential testing: optimized engine vs the transparent reference
 implementation, over random scenarios."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 from hypothesis import given, settings

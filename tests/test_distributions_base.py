@@ -1,5 +1,7 @@
 """Interface-level properties every failure distribution must satisfy."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

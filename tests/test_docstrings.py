@@ -1,5 +1,7 @@
 """Documentation coverage: every public item carries a docstring."""
 
+from __future__ import annotations
+
 import importlib
 import inspect
 import pkgutil

@@ -1,6 +1,8 @@
 """DP table cache: hits, key separation, bounds, the no-cache escape
 hatch, and distribution cache keys."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,5 +1,7 @@
 """DPMakespan (Algorithm 1) against Theorem 1 and sanity invariants."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

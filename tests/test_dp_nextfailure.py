@@ -1,5 +1,7 @@
 """DPNextFailure: optimality, consistency with Proposition 3, behavior."""
 
+from __future__ import annotations
+
 import itertools
 
 import numpy as np

@@ -1,6 +1,8 @@
 """Edge cases across modules: tiny workloads, extreme parameters,
 degenerate configurations."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

@@ -1,5 +1,7 @@
 """Empirical (log-based) distribution: the paper's ratio construction."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -5,6 +5,8 @@ engine's timing rules (chunk + checkpoint atomicity, downtime, cascading
 outages, recovery restarts, lower bound).
 """
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

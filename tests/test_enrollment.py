@@ -1,5 +1,7 @@
 """Optimal-enrollment extension driver."""
 
+from __future__ import annotations
+
 import pytest
 
 from repro.experiments import SMOKE

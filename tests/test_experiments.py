@@ -4,6 +4,8 @@ These are plumbing tests (fast, few traces); the paper-shape assertions
 with enough statistics live in test_integration.py and the benchmarks.
 """
 
+from __future__ import annotations
+
 import dataclasses
 import math
 

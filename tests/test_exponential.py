@@ -1,5 +1,7 @@
 """Exponential distribution: memorylessness and Lemma 1 closed forms."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

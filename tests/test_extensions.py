@@ -1,5 +1,7 @@
 """Extension experiments: energy model, ablation drivers, scales."""
 
+from __future__ import annotations
+
 import dataclasses
 
 import numpy as np

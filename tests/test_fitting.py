@@ -1,5 +1,7 @@
 """MLE fitting, including hypothesis property tests."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 from hypothesis import given, settings

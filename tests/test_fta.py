@@ -1,5 +1,7 @@
 """FTA-style log persistence roundtrip."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,6 +1,8 @@
 """End-to-end statistical checks reproducing the paper's qualitative
 claims with enough traces for the signal to dominate the noise."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,5 +1,7 @@
 """Lambert W implementation vs the defining identity and scipy."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

@@ -1,23 +1,45 @@
-"""reprolint: rule fixtures, pragma handling, engine mechanics, CLI.
+"""reprolint: rule fixtures, pragmas, engine mechanics, cache, CLI.
 
-Each rule R1-R5 is demonstrated by a failing and a passing fixture under
+Each rule R1-R8 is demonstrated by a failing and a passing fixture under
 ``tests/fixtures/lint/`` (never collected by pytest, never swept up by
-directory-walk linting).  The capstone test asserts the real tree is
-clean: ``repro lint src`` must exit 0.
+directory-walk linting).  The property-style pair test asserts each
+failing fixture triggers *exactly* its own rule — no cross-rule bleed —
+and each passing fixture is completely clean under the full rule set.
+The capstone test asserts the real tree passes its own linter:
+``repro lint src tests`` must exit 0.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.cli import main
-from repro.lint import all_rules, get_rule, lint_file, lint_paths
+from repro.lint import all_rules, get_rule, lint_file, lint_paths, run_lint
+from repro.lint.cache import LintCache
 from repro.lint.engine import iter_python_files
+from repro.lint.formats import render_report
+from repro.lint.registry import is_project_rule
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+ALL_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+
+# code -> (failing fixture, passing fixture); directories exercise the
+# whole-program rules over multi-file mini-projects.
+FIXTURE_PAIRS = {
+    "R1": ("r1_fail.py", "r1_pass.py"),
+    "R2": ("r2_fail.py", "r2_pass.py"),
+    "R3": ("r3_fail.py", "r3_pass.py"),
+    "R4": ("r4_fail.py", "r4_pass.py"),
+    "R5": ("test_r5_fail.py", "test_r5_pass.py"),
+    "R6": ("simulation/r6_fail.py", "simulation/r6_pass.py"),
+    "R7": ("r7_fail.py", "r7_pass.py"),
+    "R8": ("r8_fail", "r8_pass"),
+}
 
 
 def codes(diags):
@@ -26,21 +48,23 @@ def codes(diags):
 
 
 # ----------------------------------------------------------------------
-# per-rule fixtures
+# per-rule fixtures: the no-bleed property
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("code", ["R1", "R2", "R3", "R4", "R5"])
-def test_failing_fixture_flags_rule(code):
-    name = f"test_{code.lower()}_fail.py" if code == "R5" else f"{code.lower()}_fail.py"
-    diags = lint_file(FIXTURES / name)
-    assert code in codes(diags), f"{name} should trigger {code}"
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_failing_fixture_flags_exactly_its_rule(code):
+    """Every rule's failing fixture triggers that rule and nothing else
+    under the FULL rule set — fixtures must not bleed across rules."""
+    fail, _ = FIXTURE_PAIRS[code]
+    diags = lint_paths([FIXTURES / fail])
+    assert codes(diags) == {code}, [d.render() for d in diags]
 
 
-@pytest.mark.parametrize("code", ["R1", "R2", "R3", "R4", "R5"])
+@pytest.mark.parametrize("code", ALL_CODES)
 def test_passing_fixture_is_clean(code):
-    name = f"test_{code.lower()}_pass.py" if code == "R5" else f"{code.lower()}_pass.py"
-    diags = lint_file(FIXTURES / name)
+    _, ok = FIXTURE_PAIRS[code]
+    diags = lint_paths([FIXTURES / ok])
     assert diags == [], [d.render() for d in diags]
 
 
@@ -94,6 +118,19 @@ def test_r4_flags_each_hygiene_hazard():
     assert len(diags) == 3
 
 
+def test_r4_requires_future_annotations(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text('"""Doc."""\n\nX = 1\n')
+    diags = lint_file(f, [get_rule("R4")])
+    assert len(diags) == 1
+    assert "from __future__ import annotations" in diags[0].message
+    assert diags[0].fix is not None
+    # docstring-only modules are exempt — nothing needs annotating
+    g = tmp_path / "empty.py"
+    g.write_text('"""Only a docstring."""\n')
+    assert lint_file(g, [get_rule("R4")]) == []
+
+
 def test_r5_respects_class_and_module_markers(tmp_path):
     body = (
         "    for i in range(500):\n"
@@ -113,6 +150,57 @@ def test_r5_respects_class_and_module_markers(tmp_path):
         f"    def test_heavy(self):\n    {body.replace(chr(10), chr(10) + '    ')}\n"
     )
     assert lint_file(marked_class, [get_rule("R5")]) == []
+
+
+# ----------------------------------------------------------------------
+# whole-program rules
+# ----------------------------------------------------------------------
+
+
+def test_r6_names_each_seed_flow_hazard():
+    diags = lint_paths([FIXTURES / "simulation" / "r6_fail.py"])
+    messages = " ".join(d.message for d in diags)
+    assert "draws OS entropy" in messages
+    assert "no seed/rng parameter" in messages
+    assert "drops the threaded seed" in messages
+    assert "shadows the threaded seed" in messages
+    assert len(diags) == 4
+
+
+def test_r6_only_applies_to_seeded_packages(tmp_path):
+    """The same hazards outside traces/simulation/experiments are not
+    R6's business (library code may legitimately be caller-seeded)."""
+    src = (FIXTURES / "simulation" / "r6_fail.py").read_text()
+    outside = tmp_path / "helpers.py"
+    outside.write_text(src)
+    assert lint_paths([outside]) == []
+
+
+def test_r7_names_each_unit_propagation_hazard():
+    diags = lint_paths([FIXTURES / "r7_fail.py"])
+    messages = " ".join(d.message for d in diags)
+    assert "bare literal 86400" in messages
+    assert "names a non-second unit" in messages
+    assert "count-valued" in messages
+    assert "time-valued" in messages
+    assert len(diags) == 4
+
+
+def test_r8_reports_every_drifted_layer():
+    diags = lint_paths([FIXTURES / "r8_fail"])
+    messages = " ".join(d.message for d in diags)
+    assert "'DalyHigh' is not exported" in messages
+    assert "no 'liu' policy choice" in messages
+    assert "'Bouguerra' is never constructed" in messages
+    assert "'PeriodLB' column constant" in messages
+    assert "never mentions policy 'DPMakespan'" in messages
+    assert len(diags) == 5
+
+
+def test_r8_inactive_without_a_policies_module(tmp_path):
+    f = tmp_path / "plain.py"
+    f.write_text("from __future__ import annotations\n\nX = 1\n")
+    assert lint_paths([f], select=["R8"]) == []
 
 
 # ----------------------------------------------------------------------
@@ -149,22 +237,91 @@ def test_pragma_for_other_rule_does_not_silence(tmp_path):
     assert len(lint_file(f, [get_rule("R3")])) == 1
 
 
+def test_pragma_multi_rule_comma_list(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def a(x):\n"
+        "    mtbf = 86400.0; ok = x == 1.5  # reprolint: disable=R2,R3\n"
+    )
+    diags = lint_file(f, [get_rule("R2"), get_rule("R3")])
+    assert diags == [], [d.render() for d in diags]
+
+
+def test_pragma_trailing_justification_text(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def a(x):\n"
+        "    mtbf = 86400.0  # reprolint: disable=R2 dimensionless factor\n"
+    )
+    assert lint_file(f, [get_rule("R2")]) == []
+
+
+def test_pragma_justification_does_not_widen_to_later_chunks(tmp_path):
+    """Once a chunk carries free text, later comma-separated words are
+    justification, not extra rule keys."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def a(x):\n"
+        "    mtbf = 86400.0; ok = x == 1.5"
+        "  # reprolint: disable=R2 factor, R3 would be wrong\n"
+    )
+    diags = lint_file(f, [get_rule("R2"), get_rule("R3")])
+    assert codes(diags) == {"R3"}
+
+
+def test_pragma_on_decorator_line_covers_the_def(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "from __future__ import annotations\n"
+        "import functools\n"
+        "@functools.lru_cache  # reprolint: disable=R2\n"
+        "def f(timeout_ms=5):\n"
+        "    return timeout_ms\n"
+    )
+    assert lint_file(f, [get_rule("R2")]) == []
+    # without the pragma the diagnostic anchors at the def line
+    g = tmp_path / "bare.py"
+    g.write_text(
+        "from __future__ import annotations\n"
+        "import functools\n"
+        "@functools.lru_cache\n"
+        "def f(timeout_ms=5):\n"
+        "    return timeout_ms\n"
+    )
+    assert [d.line for d in lint_file(g, [get_rule("R2")])] == [4]
+
+
 # ----------------------------------------------------------------------
 # engine mechanics
 # ----------------------------------------------------------------------
 
 
-def test_registry_exposes_five_rules():
-    assert [r.code for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+def test_registry_exposes_eight_rules():
+    assert [r.code for r in all_rules()] == ALL_CODES
     assert get_rule("unit-safety").code == "R2"
+    assert get_rule("seed-flow").code == "R6"
     with pytest.raises(KeyError):
         get_rule("R99")
 
 
-def test_directory_walk_skips_fixture_violations():
+def test_project_rules_are_discriminated_from_file_rules():
+    assert not is_project_rule(get_rule("R2"))
+    for code in ("R6", "R7", "R8"):
+        assert is_project_rule(get_rule(code))
+
+
+def test_directory_walk_skips_fixture_violations_and_cache():
     walked = list(iter_python_files([REPO / "tests"]))
     assert all("fixtures" not in f.parts for f in walked)
     assert any(f.name == "test_lint.py" for f in walked)
+
+
+def test_directory_walk_skips_reprolint_cache(tmp_path):
+    (tmp_path / ".reprolint-cache").mkdir()
+    (tmp_path / ".reprolint-cache" / "stale.py").write_text("x = 1\n")
+    (tmp_path / "real.py").write_text("x = 1\n")
+    walked = list(iter_python_files([tmp_path]))
+    assert [f.name for f in walked] == ["real.py"]
 
 
 def test_explicit_fixture_path_is_still_linted():
@@ -178,9 +335,183 @@ def test_parse_error_is_reported_not_raised(tmp_path):
     assert len(diags) == 1 and diags[0].code == "E0"
 
 
+def test_non_utf8_file_is_reported_not_raised(tmp_path):
+    f = tmp_path / "latin.py"
+    f.write_bytes(b'"""caf\xe9"""\nx = 1\n')
+    diags = lint_paths([f])
+    assert len(diags) == 1 and diags[0].code == "E0"
+    assert "UTF-8" in diags[0].message
+
+
+def test_unreadable_path_is_reported_not_raised(tmp_path):
+    trap = tmp_path / "dir_pretending.py"
+    trap.mkdir()
+    diags = lint_file(trap)
+    assert len(diags) == 1 and diags[0].code == "E0"
+    assert "cannot read" in diags[0].message
+
+
 def test_select_restricts_rules():
     diags = lint_paths([FIXTURES / "r4_fail.py"], select=["R3"])
     assert diags == []
+
+
+# ----------------------------------------------------------------------
+# incremental cache + parallel pass
+# ----------------------------------------------------------------------
+
+
+def _fixture_args():
+    return [FIXTURES / f for f, _ in FIXTURE_PAIRS.values()]
+
+
+def test_warm_cache_relints_with_zero_reparses(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_lint(_fixture_args(), cache=LintCache(cache_dir))
+    assert cold.parsed == cold.files and cold.cached == 0
+    warm = run_lint(_fixture_args(), cache=LintCache(cache_dir))
+    assert warm.parsed == 0 and warm.cached == warm.files
+    assert [d.render() for d in warm.diagnostics] == [
+        d.render() for d in cold.diagnostics
+    ]
+
+
+def test_cache_entries_survive_select_changes(tmp_path):
+    """--select must not invalidate entries: diagnostics are stored for
+    all rules and filtered at read time."""
+    cache_dir = tmp_path / "cache"
+    run_lint([FIXTURES / "r2_fail.py"], cache=LintCache(cache_dir))
+    warm = run_lint(
+        [FIXTURES / "r2_fail.py"], select=["R2"], cache=LintCache(cache_dir)
+    )
+    assert warm.parsed == 0
+    assert codes(warm.diagnostics) == {"R2"}
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("from __future__ import annotations\n\nX = 1\n")
+    cache_dir = tmp_path / "cache"
+    first = run_lint([mod], cache=LintCache(cache_dir))
+    assert first.parsed == 1 and first.diagnostics == []
+    mod.write_text(
+        "from __future__ import annotations\n\n"
+        "def f(x):\n    return x == 1.5\n"
+    )
+    second = run_lint([mod], cache=LintCache(cache_dir))
+    assert second.parsed == 1
+    assert codes(second.diagnostics) == {"R3"}
+
+
+def test_parallel_jobs_match_serial(tmp_path):
+    serial = run_lint(_fixture_args())
+    parallel = run_lint(_fixture_args(), jobs=2)
+    assert [d.render() for d in parallel.diagnostics] == [
+        d.render() for d in serial.diagnostics
+    ]
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+
+
+def test_json_format_carries_engine_counters():
+    report = run_lint([FIXTURES / "r2_fail.py"])
+    doc = json.loads(render_report(report, "json"))
+    assert doc["tool"] == "reprolint"
+    assert doc["files"] == 1 and doc["parsed"] == 1 and doc["cached"] == 0
+    assert all(d["code"] == "R2" for d in doc["diagnostics"])
+    assert {"path", "line", "col", "code", "name", "message"} <= set(
+        doc["diagnostics"][0]
+    )
+
+
+def test_sarif_output_validates_against_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    report = run_lint([FIXTURES / "r2_fail.py"])
+    doc = json.loads(render_report(report, "sarif"))
+    schema = json.loads(
+        (REPO / "tests" / "fixtures" / "sarif-2.1.0-subset.schema.json")
+        .read_text(encoding="utf-8")
+    )
+    jsonschema.validate(doc, schema)
+    assert doc["version"] == "2.1.0"
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert set(ALL_CODES) | {"E0"} <= rule_ids
+    results = doc["runs"][0]["results"]
+    assert results and all(r["ruleId"] == "R2" for r in results)
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_marks_parse_errors_as_errors(tmp_path):
+    f = tmp_path / "broken.py"
+    f.write_text("def broken(:\n")
+    doc = json.loads(render_report(run_lint([f]), "sarif"))
+    assert doc["runs"][0]["results"][0]["level"] == "error"
+
+
+# ----------------------------------------------------------------------
+# autofix
+# ----------------------------------------------------------------------
+
+
+def test_fix_rewrites_unit_literals_and_adds_imports(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    target = tmp_path / "mod.py"
+    target.write_text(
+        '"""Fixture for --fix."""\n'
+        "\n"
+        "\n"
+        "def plan(work=1728000.0, downtime=60):\n"
+        "    mtbf = 86400.0\n"
+        "    return work + mtbf + downtime\n"
+    )
+    assert main(["lint", str(target), "--fix"]) == 0
+    text = target.read_text()
+    assert "from __future__ import annotations" in text
+    assert "work=20 * DAY" in text
+    assert "downtime=MINUTE" in text
+    assert "mtbf = DAY" in text
+    assert "from repro.units import DAY, MINUTE" in text
+    compile(text, str(target), "exec")  # the rewrite must stay valid Python
+
+
+def test_fix_is_idempotent(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    target = tmp_path / "mod.py"
+    target.write_text(
+        '"""Fixture for --fix."""\n'
+        "\n"
+        "\n"
+        "def plan(work=1728000.0):\n"
+        "    return work\n"
+    )
+    assert main(["lint", str(target), "--fix"]) == 0
+    once = target.read_text()
+    assert main(["lint", str(target), "--fix"]) == 0
+    assert target.read_text() == once
+
+
+def test_fix_parenthesizes_when_precedence_demands(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "def plan(period=120 ** 2):\n"
+        "    return period\n"
+    )
+    from repro.lint.fixes import apply_fixes
+
+    diags = lint_file(target, [get_rule("R2")])
+    assert len(diags) == 1 and diags[0].fix is not None
+    apply_fixes(diags)
+    text = target.read_text()
+    assert "(2 * MINUTE) ** 2" in text
+    compile(text, str(target), "exec")
 
 
 # ----------------------------------------------------------------------
@@ -191,16 +522,40 @@ def test_select_restricts_rules():
 def test_cli_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("R1", "R2", "R3", "R4", "R5"):
+    for code in ALL_CODES:
         assert code in out
 
 
-def test_cli_exit_codes(capsys):
+def test_cli_exit_codes(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
     assert main(["lint", str(FIXTURES / "r4_fail.py")]) == 1
     assert "R4[api-hygiene]" in capsys.readouterr().out
     assert main(["lint", str(FIXTURES / "r4_pass.py")]) == 0
     assert main(["lint", "--select", "bogus", "src"]) == 2
     assert main(["lint", str(REPO / "no-such-dir")]) == 2
+    broken = tmp_path / "latin.py"
+    broken.write_bytes(b"x = '\xff'\n")
+    assert main(["lint", str(broken)]) == 2  # E0 is a hard error
+
+
+def test_cli_json_format(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--format", "json",
+                 str(FIXTURES / "r3_fail.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert codes_from_json(doc) == {"R3"}
+
+
+def codes_from_json(doc):
+    """Rule codes present in a ``--format json`` document."""
+    return {d["code"] for d in doc["diagnostics"]}
+
+
+def test_cli_no_cache_and_jobs_flags(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--no-cache", "--jobs", "2",
+                 str(FIXTURES / "r2_pass.py")]) == 0
+    assert not (tmp_path / "cache").exists()  # --no-cache wrote nothing
 
 
 def test_repro_lint_src_is_clean():
@@ -209,8 +564,8 @@ def test_repro_lint_src_is_clean():
     assert diags == [], [d.render() for d in diags]
 
 
-def test_repro_lint_tests_discipline_rules_are_clean():
-    """tests/ holds the R1/R4/R5 line (R2/R3 literal rules are relaxed
-    for test code — exact asserts on constructed values are idiomatic)."""
-    diags = lint_paths([REPO / "tests"], select=["R1", "R4", "R5"])
+def test_repro_lint_src_and_tests_clean_with_all_rules():
+    """The full-tree gate with R1-R8 enabled — including the
+    whole-program seed-flow, unit-propagation and registry checks."""
+    diags = lint_paths([REPO / "src", REPO / "tests"])
     assert diags == [], [d.render() for d in diags]

@@ -1,5 +1,7 @@
 """Synthetic LANL-like logs and the empirical distribution built on them."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

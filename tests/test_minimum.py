@@ -1,5 +1,7 @@
 """MinOfIID: the all-rejuvenation platform failure law."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,6 +1,8 @@
 """Parallel scenario runner: determinism, infeasibility recording,
 execution configuration."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

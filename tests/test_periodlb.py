@@ -1,5 +1,7 @@
 """PeriodLB search and factor grid."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,5 +1,7 @@
 """Checkpointing policies: period formulas and adaptive behavior."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

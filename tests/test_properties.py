@@ -1,5 +1,7 @@
 """Hypothesis property tests for the engine and core invariants."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -1,5 +1,7 @@
 """Reference solvers, and the DPs verified against them."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,5 +1,7 @@
 """Rejuvenation analytics (Figure 1 and Section 3.1)."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

@@ -1,5 +1,7 @@
 """Replication extension: engine semantics and crossover behavior."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

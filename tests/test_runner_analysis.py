@@ -1,5 +1,7 @@
 """Scenario runner + degradation metric + table rendering."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

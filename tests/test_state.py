@@ -1,5 +1,7 @@
 """Platform survival state: product structure, compression, lattice."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

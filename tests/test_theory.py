@@ -1,5 +1,7 @@
 """Theorem 1 / Proposition 5 closed forms."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

@@ -1,5 +1,7 @@
 """Failure trace generation: semantics, coherence, reproducibility."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 from hypothesis import given, settings

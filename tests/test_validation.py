@@ -1,5 +1,7 @@
 """KS goodness-of-fit machinery and ASCII charts."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np

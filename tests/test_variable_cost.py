@@ -1,5 +1,7 @@
 """Progress-dependent checkpoint cost extension (Section 8)."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -1,5 +1,7 @@
 """Waste-breakdown experiment driver."""
 
+from __future__ import annotations
+
 import pytest
 
 from repro.experiments import SMOKE

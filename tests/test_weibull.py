@@ -1,6 +1,8 @@
 """Weibull distribution: shapes, hazard behavior and the rejuvenation
 closure property that underpins Figure 1."""
 
+from __future__ import annotations
+
 import math
 
 import numpy as np
