@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-fix test test-fast bench-smoke verify
+.PHONY: lint lint-fix test test-fast bench-smoke bench-engine verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
 # runs the full R1-R8 rule set — per-file and whole-program — over
@@ -42,5 +42,12 @@ bench-smoke:
 	REPRO_BENCH_PPOINTS=2 REPRO_BENCH_JOBS=2 \
 		$(PYTHON) -m pytest benchmarks/bench_fig2_peta_exp.py --benchmark-only -q
 
-# What CI / pre-merge should run.
+# Engine benchmark at smoke scale: verifies the batch replay and the
+# vectorized DPMakespan sweep are bit-identical to their scalar/loop
+# references (full scale: python benchmarks/bench_engine.py).
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --smoke
+
+# What CI / pre-merge should run (CI also runs bench-engine as its own
+# step).
 verify: lint test-fast bench-smoke

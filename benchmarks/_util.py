@@ -28,14 +28,16 @@ _SCALES = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM, "paper": PAPER}
 
 
 def apply_execution_env() -> None:
-    """Install ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` as the
-    process-wide execution default so every driver the benchmark calls
-    inherits them."""
+    """Install ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` /
+    ``REPRO_BENCH_NO_BATCH`` as the process-wide execution default so
+    every driver the benchmark calls inherits them."""
     jobs = os.environ.get("REPRO_BENCH_JOBS")
     if jobs:
         set_default_execution(jobs=int(jobs))
     if os.environ.get("REPRO_BENCH_NO_CACHE"):
         set_default_execution(use_cache=False)
+    if os.environ.get("REPRO_BENCH_NO_BATCH"):
+        set_default_execution(use_batch=False)
 
 
 def bench_scale(**overrides) -> ExperimentScale:

@@ -326,16 +326,22 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                         "are bit-identical for any N)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the shared DP table cache")
+    p.add_argument("--no-batch", action="store_true",
+                   help="force the scalar engine instead of the "
+                        "vectorized batch replay (bit-identical "
+                        "results; escape hatch / A-B check)")
 
 
 def _apply_execution_flags(args: argparse.Namespace) -> None:
-    """Install --jobs/--no-cache as the process-wide execution default
-    so every driver underneath the command inherits them."""
+    """Install --jobs/--no-cache/--no-batch as the process-wide
+    execution default so every driver underneath the command inherits
+    them."""
     from repro.simulation.parallel import set_default_execution
 
     set_default_execution(
         jobs=getattr(args, "jobs", None),
         use_cache=False if getattr(args, "no_cache", False) else None,
+        use_batch=False if getattr(args, "no_batch", False) else None,
     )
 
 

@@ -53,7 +53,9 @@ class DPNextFailureResult:
     chunks: np.ndarray
     expected_work: float
     u: float
-    _choice: np.ndarray = field(repr=False, default=None)
+    # None when the result was built without a DP table (tests construct
+    # bare results); _solve always attaches the choice table.
+    _choice: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def first_chunk(self) -> float:

@@ -4,12 +4,20 @@ from __future__ import annotations
 
 import abc
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.simulation.engine import JobContext
 
-__all__ = ["Policy", "PeriodicPolicy", "PolicyInfeasibleError"]
+__all__ = [
+    "Policy",
+    "PeriodicPolicy",
+    "PolicyInfeasibleError",
+    "StaticSchedule",
+]
 
 
 class PolicyInfeasibleError(RuntimeError):
@@ -17,6 +25,35 @@ class PolicyInfeasibleError(RuntimeError):
     for the given scenario (e.g. Liu with inter-checkpoint intervals
     shorter than the checkpoint duration — the pathology the paper
     reports for large Weibull platforms)."""
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """A fixed chunk schedule declared by a policy for batch replay.
+
+    Exactly one of the two fields is set:
+
+    - ``period``: every attempt proposes ``min(period, remaining)`` —
+      the stateless periodic family (Young, Daly, OptExp, Bouguerra,
+      PeriodLB candidates);
+    - ``chunks``: attempts since the last failure (or job start) follow
+      ``chunks[0], chunks[1], ...``, each clipped to the remaining work,
+      and the index restarts at 0 after every failure — Liu's renewal
+      schedule.  A trace that needs more chunks than provided is
+      infeasible on replay, mirroring the scalar engine's
+      :class:`PolicyInfeasibleError`.
+    """
+
+    period: float | None = None
+    chunks: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if (self.period is None) == (self.chunks is None):
+            raise ValueError("set exactly one of period/chunks")
+        if self.period is not None and not self.period > 0:
+            raise ValueError("period must be positive")
+        if self.chunks is not None and np.any(np.asarray(self.chunks) <= 0):
+            raise ValueError("all scheduled chunks must be positive")
 
 
 class Policy(abc.ABC):
@@ -35,6 +72,20 @@ class Policy(abc.ABC):
 
     def on_failure(self, ctx: "JobContext") -> None:
         """Notification that a failure occurred and recovery completed."""
+
+    def static_schedule(self, ctx: "JobContext") -> StaticSchedule | None:
+        """The policy's fixed chunk schedule, or None if state-dependent.
+
+        Called after :meth:`setup`.  An implementation promises that its
+        ``next_chunk`` decisions depend only on scenario-level fields of
+        ``ctx`` (never ``ctx.time`` / ``ctx.ages``), so one schedule is
+        valid for every trace of a scenario and the batch replay engine
+        (:mod:`repro.simulation.batch`) may simulate a whole trace
+        ensemble with array operations.  Policies that adapt to runtime
+        platform state (the DP policies) return None and fall back to
+        the scalar engine.
+        """
+        return None
 
     @abc.abstractmethod
     def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
@@ -55,3 +106,6 @@ class PeriodicPolicy(Policy):
 
     def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
         return min(self.period, remaining)
+
+    def static_schedule(self, ctx: "JobContext") -> StaticSchedule:
+        return StaticSchedule(period=self.period)

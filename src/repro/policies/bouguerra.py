@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.minimum import MinOfIID
-from repro.policies.base import Policy
+from repro.policies.base import Policy, StaticSchedule
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -72,3 +72,6 @@ class Bouguerra(Policy):
 
     def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
         return min(self.period, remaining)
+
+    def static_schedule(self, ctx: "JobContext") -> StaticSchedule:
+        return StaticSchedule(period=self.period)

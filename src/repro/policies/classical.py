@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 
 from repro.core.theory import optimal_num_chunks
-from repro.policies.base import Policy
+from repro.policies.base import Policy, StaticSchedule
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -33,6 +33,11 @@ class _MTBFPeriodic(Policy):
 
     def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
         return min(self.period, remaining)
+
+    def static_schedule(self, ctx: "JobContext") -> StaticSchedule:
+        # The period is a function of scenario parameters only (setup
+        # has run), so one schedule serves the whole trace ensemble.
+        return StaticSchedule(period=self.period)
 
     def _compute_period(self, ctx: "JobContext") -> float:
         raise NotImplementedError

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+from collections import deque
+
 import numpy as np
 
 from repro.core.cache import cached_dp_makespan, cached_dp_next_failure_parallel
@@ -67,21 +69,21 @@ class DPNextFailurePolicy(Policy):
         self.truncation = truncation
         self.use_fraction = use_fraction
         self.compress = compress
-        self._queue: list[float] = []
+        self._queue: deque[float] = deque()
 
     def setup(self, ctx: "JobContext") -> None:
-        self._queue = []
+        self._queue = deque()
 
     def __getstate__(self):
         # Drop the in-flight plan when shipped to a runner worker: it is
         # per-trace state that setup() rebuilds.
         state = self.__dict__.copy()
-        state["_queue"] = []
+        state["_queue"] = deque()
         return state
 
     def on_failure(self, ctx: "JobContext") -> None:
         # The platform state changed: the current plan is stale.
-        self._queue = []
+        self._queue = deque()
 
     def _replan(self, remaining: float, ctx: "JobContext") -> None:
         mtbf = ctx.platform_mtbf
@@ -101,12 +103,12 @@ class DPNextFailurePolicy(Policy):
         if truncated and len(chunks) > 1:
             keep = max(1, int(math.ceil(len(chunks) * self.use_fraction)))
             chunks = chunks[:keep]
-        self._queue = chunks
+        self._queue = deque(chunks)
 
     def next_chunk(self, remaining: float, ctx: "JobContext") -> float:
         if not self._queue:
             self._replan(remaining, ctx)
-        w = self._queue.pop(0)
+        w = self._queue.popleft()
         return min(w, remaining)
 
 

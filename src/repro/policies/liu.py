@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.minimum import MinOfIID
-from repro.policies.base import Policy, PolicyInfeasibleError
+from repro.policies.base import Policy, PolicyInfeasibleError, StaticSchedule
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -93,3 +93,9 @@ class Liu(Policy):
         w = self._chunks[self._idx]
         self._idx += 1
         return min(w, remaining)
+
+    def static_schedule(self, ctx: "JobContext") -> StaticSchedule:
+        # The date schedule restarts after every failure (on_failure
+        # resets the index), which is exactly the restarting-chunks
+        # replay mode; exhaustion maps to per-trace infeasibility.
+        return StaticSchedule(chunks=np.asarray(self._chunks, dtype=float))

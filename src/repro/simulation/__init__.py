@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+from repro.simulation.batch import (
+    TraceEnsemble,
+    simulate_job_batch,
+    simulate_lower_bound_batch,
+    simulate_policy_ensemble,
+)
 from repro.simulation.engine import JobContext, simulate_job, simulate_lower_bound
 from repro.simulation.parallel import (
     ExecutionConfig,
@@ -16,6 +22,10 @@ __all__ = [
     "JobContext",
     "simulate_job",
     "simulate_lower_bound",
+    "TraceEnsemble",
+    "simulate_job_batch",
+    "simulate_lower_bound_batch",
+    "simulate_policy_ensemble",
     "SimulationResult",
     "ScenarioResult",
     "run_scenarios",

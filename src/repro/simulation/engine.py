@@ -46,17 +46,24 @@ class JobContext:
     platform_mtbf: float
     t0: float
     time: float = 0.0
-    _lifetime_start: np.ndarray = None
+    # None until the context is bound to a running simulation (the batch
+    # engine probes static schedules with an unbound context).
+    _lifetime_start: np.ndarray | None = None
 
     @property
     def ages(self) -> np.ndarray:
         """Per-unit time since the start of the current lifetime."""
+        if self._lifetime_start is None:
+            raise ValueError(
+                "context is not bound to a running simulation; per-unit "
+                "ages are only available from the scalar engine"
+            )
         return np.maximum(self.time - self._lifetime_start, 0.0)
 
     @property
     def age(self) -> float:
         """Age of the single unit (sequential-job convenience)."""
-        if self._lifetime_start.size != 1:
+        if self._lifetime_start is None or self._lifetime_start.size != 1:
             raise ValueError("age is only defined for single-unit jobs")
         return float(max(self.time - self._lifetime_start[0], 0.0))
 

@@ -54,8 +54,13 @@ import numpy as np
 
 from repro.cluster.models import Platform
 from repro.core.cache import cache_stats, configure_cache, get_cache
-from repro.policies.base import PeriodicPolicy, PolicyInfeasibleError
-from repro.simulation.engine import simulate_job, simulate_lower_bound
+from repro.policies.base import PeriodicPolicy
+from repro.simulation.batch import (
+    TraceEnsemble,
+    simulate_lower_bound_batch,
+    simulate_policy_ensemble,
+)
+from repro.simulation.engine import simulate_lower_bound
 from repro.traces.generation import generate_platform_traces
 
 __all__ = [
@@ -74,12 +79,16 @@ class ExecutionConfig:
     ``jobs``: worker processes (1 = in-process serial; 0 or negative =
     one per available CPU).  ``use_cache``: consult the shared DP table
     cache.  ``batch_size``: trace indices per work unit (None = split
-    evenly, ~4 units per worker for load balancing).
+    evenly, ~4 units per worker for load balancing).  ``use_batch``:
+    replay static-schedule policies with the vectorized batch engine
+    (:mod:`repro.simulation.batch`); results are bit-identical either
+    way, so False is only an escape hatch / A-B check.
     """
 
     jobs: int = 1
     use_cache: bool = True
     batch_size: int | None = None
+    use_batch: bool = True
 
 
 _DEFAULT = ExecutionConfig()
@@ -94,6 +103,7 @@ def set_default_execution(
     jobs: int | None = None,
     use_cache: bool | None = None,
     batch_size: int | None = None,
+    use_batch: bool | None = None,
 ) -> None:
     """Set process-wide execution defaults (CLI flags, benchmark env)."""
     if jobs is not None:
@@ -102,6 +112,8 @@ def set_default_execution(
         _DEFAULT.use_cache = bool(use_cache)
     if batch_size is not None:
         _DEFAULT.batch_size = int(batch_size)
+    if use_batch is not None:
+        _DEFAULT.use_batch = bool(use_batch)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -146,6 +158,7 @@ class _TraceTask:
     include_lower_bound: bool
     max_makespan: float
     use_cache: bool
+    use_batch: bool = True
 
 
 @dataclass
@@ -164,33 +177,53 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
     configure_cache(enabled=task.use_cache)
     before = cache_stats()
     platform = task.platform
-    per_policy: dict[str, list[tuple[float, object]]] = {
-        p.name: [] for p in task.policies
-    }
+    per_policy: dict[str, list[tuple[float, object]]] = {}
     infeasible: dict[str, list[int]] = {}
     lower_bound: list[float] = []
-    for index in task.indices:
-        tr = _job_trace(platform, task.horizon, task.seed, index)
-        for policy in task.policies:
-            try:
-                res = simulate_job(
-                    policy,
-                    task.work_time,
-                    tr,
-                    platform.checkpoint,
-                    platform.recovery,
-                    platform.dist,
-                    t0=task.t0,
-                    platform_mtbf=platform.platform_mtbf,
-                    max_makespan=task.max_makespan,
-                )
-            except PolicyInfeasibleError:
-                per_policy[policy.name].append((math.nan, None))
+    traces = [
+        _job_trace(platform, task.horizon, task.seed, index)
+        for index in task.indices
+    ]
+    # One compiled ensemble serves every static-schedule policy of the
+    # batch (and the LowerBound); dynamic policies fall back to the
+    # scalar engine inside simulate_policy_ensemble.
+    ensemble = (
+        TraceEnsemble(traces, platform.recovery, task.t0)
+        if task.use_batch and traces
+        else None
+    )
+    for policy in task.policies:
+        results = simulate_policy_ensemble(
+            policy,
+            task.work_time,
+            traces,
+            platform.checkpoint,
+            platform.recovery,
+            platform.dist,
+            t0=task.t0,
+            platform_mtbf=platform.platform_mtbf,
+            max_makespan=task.max_makespan,
+            ensemble=ensemble,
+            use_batch=task.use_batch,
+        )
+        pairs: list[tuple[float, object]] = []
+        for index, res in zip(task.indices, results):
+            if res is None:
+                pairs.append((math.nan, None))
                 infeasible.setdefault(policy.name, []).append(index)
-                continue
-            per_policy[policy.name].append((res.makespan, res))
-        if task.include_lower_bound:
-            lower_bound.append(
+            else:
+                pairs.append((res.makespan, res))
+        per_policy[policy.name] = pairs
+    if task.include_lower_bound:
+        if ensemble is not None:
+            lower_bound = [
+                res.makespan
+                for res in simulate_lower_bound_batch(
+                    task.work_time, ensemble, platform.checkpoint
+                )
+            ]
+        else:
+            lower_bound = [
                 simulate_lower_bound(
                     task.work_time,
                     tr,
@@ -198,7 +231,8 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
                     platform.recovery,
                     t0=task.t0,
                 ).makespan
-            )
+                for tr in traces
+            ]
     after = cache_stats()
     return _TraceTaskResult(
         indices=list(task.indices),
@@ -224,6 +258,7 @@ class _PeriodTask:
     periods: list[float]
     max_makespan: float
     use_cache: bool
+    use_batch: bool = True
 
 
 def _run_period_task(task: _PeriodTask) -> tuple[list[float], int, int]:
@@ -233,23 +268,31 @@ def _run_period_task(task: _PeriodTask) -> tuple[list[float], int, int]:
     traces = [
         _job_trace(platform, task.horizon, task.seed, i) for i in task.subset_indices
     ]
+    # The compiled ensemble is period-independent: one compilation is
+    # amortized over the entire candidate sweep of this work unit.
+    ensemble = (
+        TraceEnsemble(traces, platform.recovery, task.t0)
+        if task.use_batch and traces
+        else None
+    )
     means = []
     for period in task.periods:
         policy = PeriodicPolicy(period, name="PeriodCandidate")
-        spans = [
-            simulate_job(
-                policy,
-                task.work_time,
-                tr,
-                platform.checkpoint,
-                platform.recovery,
-                platform.dist,
-                t0=task.t0,
-                platform_mtbf=platform.platform_mtbf,
-                max_makespan=task.max_makespan,
-            ).makespan
-            for tr in traces
-        ]
+        results = simulate_policy_ensemble(
+            policy,
+            task.work_time,
+            traces,
+            platform.checkpoint,
+            platform.recovery,
+            platform.dist,
+            t0=task.t0,
+            platform_mtbf=platform.platform_mtbf,
+            max_makespan=task.max_makespan,
+            ensemble=ensemble,
+            use_batch=task.use_batch,
+        )
+        # a PeriodicPolicy is never infeasible: every entry is a result
+        spans = [res.makespan for res in results if res is not None]
         means.append(float(np.mean(spans)))
     after = cache_stats()
     return means, after.hits - before.hits, after.misses - before.misses
@@ -278,6 +321,10 @@ class ParallelRunner:
         about four units per worker.
     use_cache:
         Consult the shared DP table cache (None reads the default).
+    use_batch:
+        Replay static-schedule policies with the vectorized batch
+        engine; None reads the default.  Results are bit-identical
+        either way (``--no-batch`` forces the scalar engine).
     """
 
     def __init__(
@@ -285,6 +332,7 @@ class ParallelRunner:
         jobs: int | None = None,
         batch_size: int | None = None,
         use_cache: bool | None = None,
+        use_batch: bool | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.batch_size = (
@@ -292,6 +340,9 @@ class ParallelRunner:
         )
         self.use_cache = (
             _DEFAULT.use_cache if use_cache is None else bool(use_cache)
+        )
+        self.use_batch = (
+            _DEFAULT.use_batch if use_batch is None else bool(use_batch)
         )
 
     # -- internal dispatch ---------------------------------------------
@@ -390,6 +441,7 @@ class ParallelRunner:
                 include_lower_bound=include_lower_bound,
                 max_makespan=max_makespan,
                 use_cache=self.use_cache,
+                use_batch=self.use_batch,
             )
             for batch in self._trace_batches(indices)
         ]
@@ -444,6 +496,7 @@ class ParallelRunner:
                     periods=batch,
                     max_makespan=max_makespan,
                     use_cache=self.use_cache,
+                    use_batch=self.use_batch,
                 )
                 for batch in _chunk(list(periods), per_unit)
             ]
@@ -467,6 +520,7 @@ class ParallelRunner:
                     include_lower_bound=False,
                     max_makespan=max_makespan,
                     use_cache=self.use_cache,
+                    use_batch=self.use_batch,
                 )
                 for batch in self._trace_batches(indices)
             ]

@@ -101,6 +101,7 @@ def run_scenarios(
     jobs: int | None = None,
     use_cache: bool | None = None,
     batch_size: int | None = None,
+    use_batch: bool | None = None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
 
@@ -115,13 +116,21 @@ def run_scenarios(
     the process-wide default
     (:func:`repro.simulation.parallel.set_default_execution`).  Per-trace
     results are bit-identical across all modes.  ``use_cache=False``
-    bypasses the shared DP table cache.
+    bypasses the shared DP table cache; ``use_batch=False`` forces the
+    scalar engine for policies the vectorized batch replay
+    (:mod:`repro.simulation.batch`) would otherwise handle — results
+    are bit-identical either way.
     """
     # Imported here: parallel drives the engine and policies, so a
     # module-level import would be circular through the package inits.
     from repro.simulation.parallel import ParallelRunner
 
-    runner = ParallelRunner(jobs=jobs, batch_size=batch_size, use_cache=use_cache)
+    runner = ParallelRunner(
+        jobs=jobs,
+        batch_size=batch_size,
+        use_cache=use_cache,
+        use_batch=use_batch,
+    )
     return runner.run(
         policies,
         platform,

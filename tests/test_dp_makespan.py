@@ -110,3 +110,56 @@ class TestPolicyQueries:
             pre = res.chunk_for(remaining, 0.0, failed_before=False)
             post = res.chunk_for(remaining, 600.0, failed_before=True)
             assert pre == pytest.approx(post)
+
+
+class TestVectorizedSweep:
+    """The blocked 2-D ``(y, i)`` sweep must build tables identical to
+    the ``y``-at-a-time reference loop — same float ops elementwise,
+    same first-minimum tie-breaking."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(1 / (10 * HOUR)),
+            Weibull.from_mtbf(10 * HOUR, 0.7),
+            Weibull.from_mtbf(5 * HOUR, 0.5),
+        ],
+        ids=["exp", "weibull07", "weibull05"],
+    )
+    @pytest.mark.parametrize("tau0", [0.0, 1800.0])
+    def test_tables_identical(self, dist, tau0):
+        work, checkpoint, downtime, recovery = 20 * HOUR, 600.0, 60.0, 600.0
+        u = max(checkpoint, work / 48)
+        vec = dp_makespan(
+            work, checkpoint, downtime, recovery, dist, u, tau0, vectorized=True
+        )
+        loop = dp_makespan(
+            work, checkpoint, downtime, recovery, dist, u, tau0, vectorized=False
+        )
+        assert vec.expected_makespan == loop.expected_makespan
+        assert vec.first_chunk == loop.first_chunk
+        assert np.array_equal(vec._v_pre, loop._v_pre)
+        assert np.array_equal(vec._c_pre, loop._c_pre)
+        assert np.array_equal(vec._v_post, loop._v_post)
+        assert np.array_equal(vec._c_post, loop._c_post)
+
+    def test_small_block_size_still_identical(self, monkeypatch):
+        """Blocking must not change results at any block boundary."""
+        import importlib
+
+        # repro.core re-exports the function under the same name, so a
+        # plain ``import ... as`` would grab the function, not the module
+        mod = importlib.import_module("repro.core.dp_makespan")
+
+        dist = Weibull.from_mtbf(10 * HOUR, 0.7)
+        reference = dp_makespan(
+            10 * HOUR, 600.0, 60.0, 600.0, dist, 1500.0, vectorized=False
+        )
+        monkeypatch.setattr(mod, "_Y_BLOCK_ELEMS", 7)
+        blocked = dp_makespan(
+            10 * HOUR, 600.0, 60.0, 600.0, dist, 1500.0, vectorized=True
+        )
+        assert np.array_equal(blocked._v_pre, reference._v_pre)
+        assert np.array_equal(blocked._c_pre, reference._c_pre)
+        assert np.array_equal(blocked._v_post, reference._v_post)
+        assert np.array_equal(blocked._c_post, reference._c_post)

@@ -169,7 +169,7 @@ class TestDPNextFailurePolicy:
         w1 = pol.next_chunk(6 * HOUR, ctx)
         assert len(pol._queue) > 0
         pol.on_failure(ctx)
-        assert pol._queue == []
+        assert len(pol._queue) == 0
 
     def test_truncation_limits_planning_horizon(self):
         dist = Weibull.from_mtbf(HOUR, 0.7)  # tiny MTBF, huge work
