@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-fix test test-fast bench-smoke bench-engine verify
+.PHONY: lint lint-fix test test-fast bench-smoke bench-engine bench-dp verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
 # runs the full R1-R8 rule set — per-file and whole-program — over
@@ -47,6 +47,12 @@ bench-smoke:
 # references (full scale: python benchmarks/bench_engine.py).
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py --smoke
+
+# Adaptive-policy pipeline benchmark at smoke scale: verifies the
+# vectorized kernels, replan memo and shared-memory publication are
+# bit-identical (full scale: python benchmarks/bench_dp_pipeline.py).
+bench-dp:
+	$(PYTHON) benchmarks/bench_dp_pipeline.py --smoke
 
 # What CI / pre-merge should run (CI also runs bench-engine as its own
 # step).

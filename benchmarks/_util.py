@@ -10,14 +10,23 @@ environment variable: ``smoke`` | ``small`` (default) | ``medium`` |
 ``paper``.  Execution knobs: ``REPRO_BENCH_JOBS`` fans scenario work
 out over N worker processes (0 = one per CPU; results are bit-identical
 to serial), ``REPRO_BENCH_NO_CACHE=1`` bypasses the shared DP table
-cache — see ``docs/performance.md``.
+cache, ``REPRO_BENCH_NO_MEMO=1`` the cross-trace replan memo and
+``REPRO_BENCH_NO_SHM=1`` the shared-memory trace publication — see
+``docs/performance.md``.
+
+Archived JSON reports (``write_bench_json``) carry a ``host`` block
+(:func:`host_metadata`) so numbers from different machines are never
+compared blind.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import pathlib
+import platform as _platform
+import socket
 
 from repro.experiments import MEDIUM, PAPER, SMALL, SMOKE, ExperimentScale
 from repro.simulation.parallel import set_default_execution
@@ -29,7 +38,8 @@ _SCALES = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM, "paper": PAPER}
 
 def apply_execution_env() -> None:
     """Install ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` /
-    ``REPRO_BENCH_NO_BATCH`` as the process-wide execution default so
+    ``REPRO_BENCH_NO_BATCH`` / ``REPRO_BENCH_NO_MEMO`` /
+    ``REPRO_BENCH_NO_SHM`` as the process-wide execution default so
     every driver the benchmark calls inherits them."""
     jobs = os.environ.get("REPRO_BENCH_JOBS")
     if jobs:
@@ -38,6 +48,37 @@ def apply_execution_env() -> None:
         set_default_execution(use_cache=False)
     if os.environ.get("REPRO_BENCH_NO_BATCH"):
         set_default_execution(use_batch=False)
+    if os.environ.get("REPRO_BENCH_NO_MEMO"):
+        set_default_execution(use_memo=False)
+    if os.environ.get("REPRO_BENCH_NO_SHM"):
+        set_default_execution(use_shm=False)
+
+
+def host_metadata() -> dict:
+    """Identity of the machine that produced a benchmark number.
+
+    Wall-clock results are only comparable on the same hardware; every
+    archived bench JSON embeds this block so a number can always be
+    traced back to the host (and library versions) that measured it.
+    """
+    import numpy
+
+    return {
+        "hostname": socket.gethostname(),
+        "machine": _platform.machine(),
+        "system": f"{_platform.system()} {_platform.release()}",
+        "cpu_count": os.cpu_count(),
+        "python": _platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+def write_bench_json(path: pathlib.Path | str, payload: dict) -> None:
+    """Archive a benchmark report as JSON with the ``host`` block
+    attached (existing ``host`` keys are preserved)."""
+    payload = dict(payload)
+    payload.setdefault("host", host_metadata())
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def bench_scale(**overrides) -> ExperimentScale:

@@ -25,7 +25,6 @@ tell nothing about throughput).
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import sys
@@ -59,7 +58,7 @@ from repro.traces.generation import generate_platform_traces  # noqa: E402
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _util import report  # noqa: E402
+from _util import report, write_bench_json  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -296,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
             "dp_makespan": dp,
         }
         out = REPO_ROOT / "BENCH_engine.json"
-        out.write_text(json.dumps(payload, indent=2) + "\n")
+        write_bench_json(out, payload)
         print(f"wrote {out}")
 
     if not (replay["identical"] and dp["identical"]):

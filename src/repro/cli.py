@@ -330,18 +330,28 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                    help="force the scalar engine instead of the "
                         "vectorized batch replay (bit-identical "
                         "results; escape hatch / A-B check)")
+    p.add_argument("--no-memo", action="store_true",
+                   help="bypass the cross-trace DPNextFailure replan "
+                        "memo (bit-identical results; escape hatch / "
+                        "A-B check)")
+    p.add_argument("--no-shm", action="store_true",
+                   help="disable shared-memory trace publication; "
+                        "parallel workers regenerate traces per work "
+                        "unit (bit-identical results)")
 
 
 def _apply_execution_flags(args: argparse.Namespace) -> None:
-    """Install --jobs/--no-cache/--no-batch as the process-wide
-    execution default so every driver underneath the command inherits
-    them."""
+    """Install --jobs/--no-cache/--no-batch/--no-memo/--no-shm as the
+    process-wide execution default so every driver underneath the
+    command inherits them."""
     from repro.simulation.parallel import set_default_execution
 
     set_default_execution(
         jobs=getattr(args, "jobs", None),
         use_cache=False if getattr(args, "no_cache", False) else None,
         use_batch=False if getattr(args, "no_batch", False) else None,
+        use_memo=False if getattr(args, "no_memo", False) else None,
+        use_shm=False if getattr(args, "no_shm", False) else None,
     )
 
 

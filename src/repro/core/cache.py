@@ -32,6 +32,25 @@ Worker processes of the parallel runner inherit the parent's cache at
 fork time and populate their own copies afterwards; per-work-unit
 hit/miss deltas are shipped back and aggregated into
 ``ScenarioResult.cache_hits`` / ``cache_misses``.
+
+Replan memo
+-----------
+A second process-wide store, the **replan memo**, sits one level above
+the table cache: it memoizes whole
+:meth:`repro.policies.dp.DPNextFailurePolicy._replan` solves across
+traces, sweeps and runner workers.  Its key is the *quantized*
+platform-state signature ``(distribution, horizon, C, u, nexact,
+napprox, compress, quantized ages)`` — see :func:`quantize_ages`.  The
+policy snaps processor ages onto the DP's own quantum lattice *before*
+solving, memo on or off, so a memo hit trivially returns the
+bit-identical ``DPNextFailureResult`` a cold solve would produce.
+Quantization makes collisions common: every trace's fresh-platform
+initial plan shares one entry, truncated replans share the same horizon
+and quantum, and post-failure states (one age at zero, survivors on the
+lattice) collide across traces.  Controlled by
+:func:`configure_replan_memo` (the ``--no-memo`` /
+``REPRO_BENCH_NO_MEMO`` escape hatches); counters are surfaced as
+``ScenarioResult.memo_hits`` / ``memo_misses``.
 """
 
 from __future__ import annotations
@@ -39,6 +58,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 __all__ = [
     "CacheStats",
@@ -49,6 +70,12 @@ __all__ = [
     "cache_stats",
     "cached_dp_makespan",
     "cached_dp_next_failure_parallel",
+    "get_replan_memo",
+    "configure_replan_memo",
+    "clear_replan_memo",
+    "replan_memo_stats",
+    "quantize_ages",
+    "cached_replan",
 ]
 
 
@@ -200,13 +227,19 @@ def cached_dp_makespan(
     )
 
 
-def cached_dp_next_failure_parallel(work: float, checkpoint: float, state, u: float):
+def cached_dp_next_failure_parallel(
+    work: float, checkpoint: float, state, u: float, vectorized: bool = True
+):
     """Memoized :func:`repro.core.dp_nextfailure.dp_next_failure_parallel`.
 
     The platform state enters the key as the exact bytes of its age and
     weight vectors, so two states hit only when they are numerically
     identical — e.g. the fresh-platform plan every trace of a ``t0 = 0``
     scenario starts from, or repeated sweeps over the same ages.
+
+    ``vectorized`` selects the kernel path on a miss; it is *not* part
+    of the key because both paths produce bit-identical results (A/B
+    benchmarks clear the caches between arms instead).
     """
     from repro.core.dp_nextfailure import dp_next_failure_parallel
 
@@ -220,5 +253,101 @@ def cached_dp_next_failure_parallel(work: float, checkpoint: float, state, u: fl
         state.weights.tobytes(),
     )
     return _CACHE.get_or_compute(
-        key, lambda: dp_next_failure_parallel(work, checkpoint, state, u)
+        key,
+        lambda: dp_next_failure_parallel(
+            work, checkpoint, state, u, vectorized=vectorized
+        ),
     )
+
+
+# ----------------------------------------------------------------------
+# cross-trace replan memo
+# ----------------------------------------------------------------------
+
+# Whole-replan results are tiny (a chunk array + scalars) while the hit
+# rate compounds across traces, so the memo can afford a deeper LRU than
+# the table cache.
+_REPLAN_MEMO = DPTableCache(maxsize=4096)
+
+
+def get_replan_memo() -> DPTableCache:
+    """The process-wide DPNextFailure replan memo."""
+    return _REPLAN_MEMO
+
+
+def configure_replan_memo(
+    enabled: bool | None = None, maxsize: int | None = None
+) -> None:
+    """Adjust the global replan memo.  Disabling does not drop stored
+    results; re-enabling resumes hitting them (mirrors
+    :func:`configure_cache`)."""
+    if enabled is not None:
+        _REPLAN_MEMO.enabled = bool(enabled)
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        _REPLAN_MEMO.maxsize = int(maxsize)
+
+
+def clear_replan_memo() -> None:
+    """Drop every memoized replan and reset the counters."""
+    _REPLAN_MEMO.clear()
+
+
+def replan_memo_stats() -> CacheStats:
+    """Counters of the replan memo (aggregated per work unit into
+    ``ScenarioResult.memo_hits`` / ``memo_misses``)."""
+    return _REPLAN_MEMO.stats()
+
+
+def quantize_ages(ages: np.ndarray, resolution: float) -> np.ndarray:
+    """Snap processor ages onto a uniform lattice of step ``resolution``.
+
+    The DPNextFailure replan already discretizes work and elapsed time
+    to multiples of its quantum ``u``; snapping the *input* ages to the
+    same lattice (the policy default is ``resolution = u``) applies that
+    discretization consistently to the state signature, which is what
+    makes post-failure states collide in the replan memo.  It is applied
+    unconditionally by the policy — memo on or off — so memoized and
+    cold runs follow identical trajectories.  ``resolution <= 0``
+    disables snapping and returns the ages unchanged.
+    """
+    ages = np.asarray(ages, dtype=float)
+    if resolution <= 0:
+        return ages
+    return np.round(ages / resolution) * resolution
+
+
+def cached_replan(
+    work: float,
+    checkpoint: float,
+    dist,
+    ages: np.ndarray,
+    u: float,
+    nexact: int,
+    napprox: int,
+    compress: bool,
+    solve,
+):
+    """Memoized full replan: returns ``solve()``'s
+    ``DPNextFailureResult``, shared by every caller whose (quantized)
+    platform-state signature matches.
+
+    ``ages`` must already be quantized by the caller
+    (:func:`quantize_ages`); the memo keys on their exact bytes plus
+    every parameter that shapes the solve.  Because the key captures the
+    full input of ``solve`` and results are immutable, a hit is
+    bit-identical to a cold solve by construction.
+    """
+    key = (
+        "replan",
+        dist.cache_key(),
+        float(work),
+        float(checkpoint),
+        float(u),
+        int(nexact),
+        int(napprox),
+        bool(compress),
+        ages.tobytes(),
+    )
+    return _REPLAN_MEMO.get_or_compute(key, solve)

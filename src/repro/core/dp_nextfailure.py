@@ -119,6 +119,7 @@ def dp_next_failure(
     dist: FailureDistribution,
     u: float,
     tau: float = 0.0,
+    vectorized: bool = True,
 ) -> DPNextFailureResult:
     """Sequential DPNextFailure (Algorithm 2).
 
@@ -134,22 +135,46 @@ def dp_next_failure(
         Time quantum; ``work`` and ``checkpoint`` are rounded to the grid.
     tau:
         Time since the processor's last failure.
+    vectorized:
+        Build the survival lattice with the batched kernel (True) or the
+        scalar reference path (False); results are bit-identical.
     """
     state = PlatformState([tau], dist)
-    return dp_next_failure_parallel(work, checkpoint, state, u)
+    return dp_next_failure_parallel(work, checkpoint, state, u, vectorized=vectorized)
 
 
 def _chunk_cap(
-    state: PlatformState, checkpoint: float, x0: int, log_cutoff: float = -14.0
+    state: PlatformState,
+    checkpoint: float,
+    x0: int,
+    log_cutoff: float = -14.0,
+    vectorized: bool = True,
 ) -> int:
     """Largest useful chunk-count index: once ``n`` checkpoints alone
     push the platform's log-survival below ``log_cutoff`` (~1e-6), the
     continuation value of any state is negligible and the DP can stop
     tracking the dimension.  Keeps the survival-lattice size proportional
-    to the failure horizon instead of the work grid."""
-    n = 1
-    while n < x0 and float(state.log_psuc(n * checkpoint)) > log_cutoff:
-        n *= 2
+    to the failure horizon instead of the work grid.
+
+    The probe doubles ``n`` until it reaches ``x0`` or crosses the
+    cutoff.  ``vectorized=True`` evaluates every doubling candidate in
+    one batched ``log_psuc`` call and picks the first stopping point;
+    ``vectorized=False`` is the original scalar call per step.  Both
+    return the same ``n`` (same candidates, same comparisons).
+    """
+    if vectorized:
+        cands = [1]
+        while cands[-1] < x0:
+            cands.append(cands[-1] * 2)
+        logp = state.log_psuc(np.asarray(cands, dtype=float) * checkpoint)
+        # loop-exit condition of the scalar probe: first candidate with
+        # n >= x0 or log-survival at/below the cutoff
+        stop = (np.asarray(cands) >= x0) | (logp <= log_cutoff)
+        n = cands[int(np.argmax(stop))]
+    else:
+        n = 1
+        while n < x0 and float(state.log_psuc(n * checkpoint)) > log_cutoff:
+            n *= 2
     return min(x0, n) + 1
 
 
@@ -158,19 +183,25 @@ def dp_next_failure_parallel(
     checkpoint: float,
     state: PlatformState,
     u: float,
+    vectorized: bool = True,
 ) -> DPNextFailureResult:
     """Parallel DPNextFailure: same DP, platform survival state.
 
     ``state`` may be exact or compressed (see
     :meth:`repro.core.state.PlatformState.compress`); either way the DP
     cost is independent of the number of processors thanks to the
-    collapsed advance table.
+    collapsed advance table.  ``vectorized=False`` routes the survival
+    lattice and the chunk-count probe through their scalar reference
+    paths (bit-identical results; the slow side of
+    ``benchmarks/bench_dp_pipeline.py``).
     """
     if u <= 0:
         raise ValueError("quantum u must be positive")
     x0 = max(1, int(round(work / u)))
-    n_cap = _chunk_cap(state, checkpoint, x0)
-    table = SurvivalTable.build(state, u, checkpoint, na=x0, nb=n_cap + 1)
+    n_cap = _chunk_cap(state, checkpoint, x0, vectorized=vectorized)
+    table = SurvivalTable.build(
+        state, u, checkpoint, na=x0, nb=n_cap + 1, vectorized=vectorized
+    )
     return _solve(table, x0, u, n_cap)
 
 
@@ -178,17 +209,32 @@ def expected_work_of_schedule(
     chunks,
     checkpoint: float,
     state: PlatformState,
+    vectorized: bool = True,
 ) -> float:
     """Evaluate Proposition 3's closed form for an arbitrary schedule:
 
         E[W] = sum_i omega_i prod_{j<=i} Psuc(omega_j + C | t_j)
 
     Used by tests to check DP optimality against brute force, and by the
-    truncation ablation.
+    truncation ablation (where it runs once per candidate schedule — a
+    real win from batching).
+
+    The vectorized path telescopes the per-chunk products: the
+    cumulative success log-probability after chunk ``i`` is
+    ``log Psuc(t_{i+1})`` with ``t_{i+1}`` the cumulative sum of
+    ``omega_j + C``, so one batched ``log_psuc`` call over all chunk
+    boundaries replaces the per-chunk Python loop.  Telescoping
+    reassociates the floating-point accumulation, so the two paths agree
+    to rounding (~1e-15 relative), not bit-for-bit; ``vectorized=False``
+    keeps the incremental reference loop.
     """
     chunks = np.asarray(chunks, dtype=float)
     if chunks.size == 0:
         return 0.0
+    if vectorized:
+        bounds = np.cumsum(chunks + checkpoint)
+        log_prob = state.log_psuc(bounds)
+        return float(np.sum(chunks * np.exp(log_prob)))
     total = 0.0
     log_prob = 0.0
     elapsed = 0.0

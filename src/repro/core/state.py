@@ -72,14 +72,20 @@ class PlatformState:
         return int(round(self.weights.sum()))
 
     def log_psuc(self, x, advance: float = 0.0):
-        """``log Psuc(x)`` after all ages advanced by ``advance``."""
+        """``log Psuc(x)`` after all ages advanced by ``advance``.
+
+        ``x`` may be an array: the whole advance grid is answered with
+        one batched :meth:`~repro.distributions.base.FailureDistribution
+        .log_survival` kernel call (per-element values identical to the
+        scalar path).
+        """
         scalar = np.ndim(x) == 0
         x = np.atleast_1d(np.asarray(x, dtype=float))
         taus = self.taus + advance
         # broadcast: (p, len(x))
-        contrib = self.dist.logsf(taus[:, None] + x[None, :]) - self.dist.logsf(
-            taus[:, None]
-        )
+        contrib = self.dist.log_survival(
+            taus[:, None] + x[None, :]
+        ) - self.dist.log_survival(taus[:, None])
         out = self.weights @ contrib
         return float(out[0]) if scalar else out
 
@@ -121,8 +127,8 @@ class PlatformState:
             refs = np.array([lo])
             counts = np.array([float(rest.size)])
         else:
-            s_lo = self.dist.sf(lo)
-            s_hi = self.dist.sf(hi)
+            # one batched survival call for both anchors
+            s_lo, s_hi = np.asarray(self.dist.sf(np.array([lo, hi])), dtype=float)
             frac = np.linspace(0.0, 1.0, napprox)
             target_sf = (1.0 - frac) * s_lo + frac * s_hi
             # S is decreasing, so S^{-1}(s) = quantile(1 - s).
@@ -170,19 +176,45 @@ class SurvivalTable:
 
     @classmethod
     def build(
-        cls, state: PlatformState, u: float, c: float, na: int, nb: int
+        cls,
+        state: PlatformState,
+        u: float,
+        c: float,
+        na: int,
+        nb: int,
+        vectorized: bool = True,
     ) -> "SurvivalTable":
-        """Tabulate the lattice for ``a = 0..na`` and ``b = 0..nb``."""
+        """Tabulate the lattice for ``a = 0..na`` and ``b = 0..nb``.
+
+        ``vectorized=True`` makes **one** batched
+        :meth:`~repro.distributions.base.FailureDistribution.log_survival`
+        kernel call over the whole ``(p, na+1, nb+1)`` advance grid and
+        collapses it with an ``einsum``; ``vectorized=False`` is the
+        ``O(grid x p)`` scalar-``logsf``-per-point reference.  The two
+        paths are bit-identical: per-element ufunc evaluation matches
+        the scalar call, and the ``"i,iab->ab"`` einsum accumulates each
+        lattice cell in the same order as the reference Python loop.
+        """
         if u <= 0 or na < 0 or nb < 0:
             raise ValueError("need positive quantum and non-negative sizes")
         grid = (
             np.arange(na + 1, dtype=float)[:, None] * u
             + np.arange(nb + 1, dtype=float)[None, :] * c
         )
-        logsf = state.dist.logsf(
-            state.taus[:, None, None] + grid[None, :, :]
-        )
-        m2 = np.einsum("i,iab->ab", state.weights, logsf)
+        if vectorized:
+            logsf = state.dist.log_survival(
+                state.taus[:, None, None] + grid[None, :, :]
+            )
+            m2 = np.einsum("i,iab->ab", state.weights, logsf)
+        else:
+            taus, weights, dist = state.taus, state.weights, state.dist
+            m2 = np.empty_like(grid)
+            for a in range(na + 1):
+                for b in range(nb + 1):
+                    acc = 0.0
+                    for i in range(taus.size):
+                        acc += weights[i] * float(dist.logsf(taus[i] + grid[a, b]))
+                    m2[a, b] = acc
         # Floor at exp(-700) ~ 1e-304 so that differences of two
         # "impossible" entries stay finite (0 probability) instead of
         # producing inf - inf = nan in the DP.

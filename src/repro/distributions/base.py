@@ -38,6 +38,23 @@ class FailureDistribution(abc.ABC):
     def logsf(self, t: FloatOrArray) -> FloatOrArray:
         """``log P(X >= t)``, stable for large ``t``."""
 
+    def log_survival(self, t: np.ndarray) -> np.ndarray:
+        """Batched log-survival kernel: ``log P(X >= t)`` over an ndarray.
+
+        The contract of the hot path used by the survival-table builders
+        (:class:`repro.core.state.SurvivalTable`,
+        :meth:`repro.core.state.PlatformState.log_psuc`): one call per
+        grid, ndarray in, ndarray of the same shape out, and each element
+        equal to the scalar ``logsf`` of that element — so vectorized and
+        scalar table builds produce bit-identical lattices.  The generic
+        implementation delegates to :meth:`logsf` (already array-native
+        in every family here); subclasses override when a dedicated
+        batched form avoids per-element overhead (e.g.
+        :class:`~repro.distributions.empirical.Empirical` answers a whole
+        grid with one ``searchsorted``).
+        """
+        return np.asarray(self.logsf(np.asarray(t, dtype=float)), dtype=float)
+
     @abc.abstractmethod
     def pdf(self, t: FloatOrArray) -> FloatOrArray:
         """Probability density of ``X`` at ``t``."""

@@ -53,6 +53,15 @@ class Empirical(FailureDistribution):
         with np.errstate(divide="ignore"):
             return np.log(self.sf(t))
 
+    def log_survival(self, t: np.ndarray) -> np.ndarray:
+        """Batched kernel: one ``searchsorted`` against the sorted
+        durations answers the whole grid.  Same expressions as the
+        ``sf`` -> ``log`` chain, so each element equals ``logsf``."""
+        t = np.asarray(t, dtype=float)
+        below = np.searchsorted(self.durations, t, side="left")
+        with np.errstate(divide="ignore"):
+            return np.log((self.n - below) / self.n)
+
     def pdf(self, t):
         """Kernel-free surrogate density: the empirical law is discrete, so
         a true pdf does not exist.  We expose the histogram density over

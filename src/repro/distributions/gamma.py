@@ -35,6 +35,11 @@ class Gamma(FailureDistribution):
         return special.gammaincc(self.k, np.maximum(t, 0.0) / self.theta)
 
     def logsf(self, t):
+        return self.log_survival(np.asarray(t, dtype=float))
+
+    def log_survival(self, t: np.ndarray) -> np.ndarray:
+        # Batched kernel: one gammaincc sweep + one log over the whole
+        # grid; logsf delegates here so both share one formula.
         sf = self.sf(t)
         with np.errstate(divide="ignore"):
             return np.log(sf)

@@ -39,6 +39,11 @@ class LogNormal(FailureDistribution):
         return np.where(t <= 0, 1.0, 0.5 * special.erfc(z))
 
     def logsf(self, t):
+        return self.log_survival(np.asarray(t, dtype=float))
+
+    def log_survival(self, t: np.ndarray) -> np.ndarray:
+        # Batched kernel (erfcx evaluated once over the whole grid);
+        # logsf delegates here so both entry points share one formula.
         t = np.asarray(t, dtype=float)
         tpos = np.maximum(t, 1e-300)
         z = (np.log(tpos) - self.mu) / (self.sigma * _SQRT2)

@@ -41,6 +41,11 @@ class Weibull(FailureDistribution):
         return np.exp(self.logsf(t))
 
     def logsf(self, t):
+        return self.log_survival(np.asarray(t, dtype=float))
+
+    def log_survival(self, t: np.ndarray) -> np.ndarray:
+        # Batched kernel (one ufunc chain, no per-element dispatch);
+        # logsf delegates here so both entry points share one formula.
         t = np.asarray(t, dtype=float)
         return -np.power(np.maximum(t, 0.0) / self.lam, self.k)
 

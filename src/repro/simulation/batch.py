@@ -196,6 +196,48 @@ class TraceEnsemble:
     ) -> "TraceEnsemble":
         return cls(traces, recovery, t0)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        t_start: np.ndarray,
+        fail: np.ndarray,
+        resume: np.ndarray,
+        cumfail: np.ndarray,
+        recovery: float,
+        t0: float,
+    ) -> "TraceEnsemble":
+        """Rehydrate an ensemble from already-compiled window arrays
+        (shared-memory attach, row subsets).  The arrays are adopted as
+        given — callers pass copies when the backing store is transient.
+        """
+        obj = cls.__new__(cls)
+        obj.n_traces = int(t_start.shape[0])
+        obj.recovery = float(recovery)
+        obj.t0 = float(t0)
+        obj.t_start = t_start
+        obj.fail = fail
+        obj.resume = resume
+        obj.cumfail = cumfail
+        return obj
+
+    def take(self, indices: Sequence[int]) -> "TraceEnsemble":
+        """Row-subset ensemble for the given trace indices.
+
+        Replay over the subset is bit-identical to compiling those
+        traces alone: window columns beyond a trace's last failure hold
+        ``+inf`` and never influence a replay, so keeping the global
+        column width is inert.
+        """
+        rows = np.asarray(indices, dtype=np.int64)
+        return TraceEnsemble.from_arrays(
+            t_start=self.t_start[rows],
+            fail=self.fail[rows],
+            resume=self.resume[rows],
+            cumfail=self.cumfail[rows],
+            recovery=self.recovery,
+            t0=self.t0,
+        )
+
 
 # ----------------------------------------------------------------------
 # phase 2: lockstep replay

@@ -39,7 +39,18 @@ longer silently swallowed.
 
 DP table caching is controlled per run (``use_cache``) and observable:
 workers return per-unit hit/miss deltas of :mod:`repro.core.cache`,
-aggregated into ``ScenarioResult.cache_hits`` / ``cache_misses``.
+aggregated into ``ScenarioResult.cache_hits`` / ``cache_misses``.  The
+DPNextFailure replan memo (``use_memo``) is handled the same way, with
+deltas aggregated into ``memo_hits`` / ``memo_misses``.
+
+Shared-memory trace publication (``use_shm``, default on): with
+``jobs > 1`` the parent generates all traces and compiles the scenario
+ensemble once, publishes the arrays via
+:mod:`repro.simulation.shm`, and workers attach and copy out only the
+rows of their work unit instead of regenerating per task (previously a
+trace could be rebuilt once per phase).  Any publish/attach failure
+falls back silently to regeneration — bit-identical by the determinism
+anchor above, shared memory only changes who computes the traces.
 """
 
 from __future__ import annotations
@@ -53,7 +64,15 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.cluster.models import Platform
-from repro.core.cache import cache_stats, configure_cache, get_cache
+from repro.core.cache import (
+    cache_stats,
+    configure_cache,
+    configure_replan_memo,
+    get_cache,
+    get_replan_memo,
+    replan_memo_stats,
+)
+from repro.simulation import shm as _shm
 from repro.policies.base import PeriodicPolicy
 from repro.simulation.batch import (
     TraceEnsemble,
@@ -82,13 +101,19 @@ class ExecutionConfig:
     evenly, ~4 units per worker for load balancing).  ``use_batch``:
     replay static-schedule policies with the vectorized batch engine
     (:mod:`repro.simulation.batch`); results are bit-identical either
-    way, so False is only an escape hatch / A-B check.
+    way, so False is only an escape hatch / A-B check.  ``use_memo``:
+    consult the DPNextFailure replan memo (:mod:`repro.core.cache`).
+    ``use_shm``: publish traces/ensembles to workers via shared memory
+    (:mod:`repro.simulation.shm`); falls back to per-task regeneration
+    on any failure.  All four toggles leave results bit-identical.
     """
 
     jobs: int = 1
     use_cache: bool = True
     batch_size: int | None = None
     use_batch: bool = True
+    use_memo: bool = True
+    use_shm: bool = True
 
 
 _DEFAULT = ExecutionConfig()
@@ -104,6 +129,8 @@ def set_default_execution(
     use_cache: bool | None = None,
     batch_size: int | None = None,
     use_batch: bool | None = None,
+    use_memo: bool | None = None,
+    use_shm: bool | None = None,
 ) -> None:
     """Set process-wide execution defaults (CLI flags, benchmark env)."""
     if jobs is not None:
@@ -114,6 +141,10 @@ def set_default_execution(
         _DEFAULT.batch_size = int(batch_size)
     if use_batch is not None:
         _DEFAULT.use_batch = bool(use_batch)
+    if use_memo is not None:
+        _DEFAULT.use_memo = bool(use_memo)
+    if use_shm is not None:
+        _DEFAULT.use_shm = bool(use_shm)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -144,6 +175,48 @@ def _job_trace(platform: Platform, horizon: float, seed: int, index: int):
     ).for_job(platform.num_nodes)
 
 
+def _task_traces(
+    platform: Platform,
+    horizon: float,
+    seed: int,
+    indices: list[int],
+    t0: float,
+    use_batch: bool,
+    layout,
+):
+    """Materialize a work unit's traces + compiled ensemble.
+
+    Preferred source: the scenario's shared-memory publication
+    (``layout``) — attach, copy the unit's rows, detach.  Fallback (no
+    layout, or any attach failure): regenerate from the determinism
+    anchor and compile per batch, exactly the pre-shm path.  Both
+    sources yield bit-identical traces, and a row subset of the global
+    ensemble is replay-equivalent to a per-batch compilation (padding
+    columns are inert), so the choice never affects results.
+    """
+    if layout is not None:
+        try:
+            with _shm.attach_scenario(layout) as scenario:
+                traces = [scenario.job_traces(i) for i in indices]
+                ensemble = (
+                    scenario.ensemble_rows(indices)
+                    if use_batch and traces
+                    else None
+                )
+            return traces, ensemble
+        except Exception:
+            # segment gone / platform quirk: drop the layout and
+            # regenerate below (bit-identical by the determinism anchor)
+            layout = None
+    traces = [_job_trace(platform, horizon, seed, index) for index in indices]
+    ensemble = (
+        TraceEnsemble(traces, platform.recovery, t0)
+        if use_batch and traces
+        else None
+    )
+    return traces, ensemble
+
+
 @dataclass
 class _TraceTask:
     """Phase 1/3 unit: run ``policies`` over the traces in ``indices``."""
@@ -159,6 +232,8 @@ class _TraceTask:
     max_makespan: float
     use_cache: bool
     use_batch: bool = True
+    use_memo: bool = True
+    layout: object | None = None
 
 
 @dataclass
@@ -171,26 +246,30 @@ class _TraceTaskResult:
     lower_bound: list[float] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
 
 def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
     configure_cache(enabled=task.use_cache)
+    configure_replan_memo(enabled=task.use_memo)
     before = cache_stats()
+    memo_before = replan_memo_stats()
     platform = task.platform
     per_policy: dict[str, list[tuple[float, object]]] = {}
     infeasible: dict[str, list[int]] = {}
     lower_bound: list[float] = []
-    traces = [
-        _job_trace(platform, task.horizon, task.seed, index)
-        for index in task.indices
-    ]
     # One compiled ensemble serves every static-schedule policy of the
     # batch (and the LowerBound); dynamic policies fall back to the
     # scalar engine inside simulate_policy_ensemble.
-    ensemble = (
-        TraceEnsemble(traces, platform.recovery, task.t0)
-        if task.use_batch and traces
-        else None
+    traces, ensemble = _task_traces(
+        platform,
+        task.horizon,
+        task.seed,
+        task.indices,
+        task.t0,
+        task.use_batch,
+        task.layout,
     )
     for policy in task.policies:
         results = simulate_policy_ensemble(
@@ -234,6 +313,7 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
                 for tr in traces
             ]
     after = cache_stats()
+    memo_after = replan_memo_stats()
     return _TraceTaskResult(
         indices=list(task.indices),
         per_policy=per_policy,
@@ -241,6 +321,8 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
         lower_bound=lower_bound,
         cache_hits=after.hits - before.hits,
         cache_misses=after.misses - before.misses,
+        memo_hits=memo_after.hits - memo_before.hits,
+        memo_misses=memo_after.misses - memo_before.misses,
     )
 
 
@@ -259,21 +341,28 @@ class _PeriodTask:
     max_makespan: float
     use_cache: bool
     use_batch: bool = True
+    use_memo: bool = True
+    layout: object | None = None
 
 
-def _run_period_task(task: _PeriodTask) -> tuple[list[float], int, int]:
+def _run_period_task(
+    task: _PeriodTask,
+) -> tuple[list[float], int, int, int, int]:
     configure_cache(enabled=task.use_cache)
+    configure_replan_memo(enabled=task.use_memo)
     before = cache_stats()
+    memo_before = replan_memo_stats()
     platform = task.platform
-    traces = [
-        _job_trace(platform, task.horizon, task.seed, i) for i in task.subset_indices
-    ]
     # The compiled ensemble is period-independent: one compilation is
     # amortized over the entire candidate sweep of this work unit.
-    ensemble = (
-        TraceEnsemble(traces, platform.recovery, task.t0)
-        if task.use_batch and traces
-        else None
+    traces, ensemble = _task_traces(
+        platform,
+        task.horizon,
+        task.seed,
+        task.subset_indices,
+        task.t0,
+        task.use_batch,
+        task.layout,
     )
     means = []
     for period in task.periods:
@@ -295,7 +384,14 @@ def _run_period_task(task: _PeriodTask) -> tuple[list[float], int, int]:
         spans = [res.makespan for res in results if res is not None]
         means.append(float(np.mean(spans)))
     after = cache_stats()
-    return means, after.hits - before.hits, after.misses - before.misses
+    memo_after = replan_memo_stats()
+    return (
+        means,
+        after.hits - before.hits,
+        after.misses - before.misses,
+        memo_after.hits - memo_before.hits,
+        memo_after.misses - memo_before.misses,
+    )
 
 
 def _chunk(items: list, size: int) -> list[list]:
@@ -325,6 +421,14 @@ class ParallelRunner:
         Replay static-schedule policies with the vectorized batch
         engine; None reads the default.  Results are bit-identical
         either way (``--no-batch`` forces the scalar engine).
+    use_memo:
+        Consult the DPNextFailure replan memo; None reads the default
+        (``--no-memo`` disables).  Bit-identical either way.
+    use_shm:
+        Publish traces/ensembles to workers through shared memory; None
+        reads the default.  Only engaged with ``jobs > 1``; falls back
+        to per-task regeneration on any failure.  Bit-identical either
+        way (``--no-shm`` forces regeneration).
     """
 
     def __init__(
@@ -333,6 +437,8 @@ class ParallelRunner:
         batch_size: int | None = None,
         use_cache: bool | None = None,
         use_batch: bool | None = None,
+        use_memo: bool | None = None,
+        use_shm: bool | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.batch_size = (
@@ -344,6 +450,10 @@ class ParallelRunner:
         self.use_batch = (
             _DEFAULT.use_batch if use_batch is None else bool(use_batch)
         )
+        self.use_memo = (
+            _DEFAULT.use_memo if use_memo is None else bool(use_memo)
+        )
+        self.use_shm = _DEFAULT.use_shm if use_shm is None else bool(use_shm)
 
     # -- internal dispatch ---------------------------------------------
 
@@ -385,7 +495,9 @@ class ParallelRunner:
         # diagnostic elapsed-time only; never feeds simulation state
         start = time.perf_counter()  # reprolint: disable=R1
         prior_enabled = get_cache().enabled
+        prior_memo = get_replan_memo().enabled
         configure_cache(enabled=self.use_cache)
+        configure_replan_memo(enabled=self.use_memo)
         try:
             return self._run(
                 policies,
@@ -404,6 +516,7 @@ class ParallelRunner:
             )
         finally:
             configure_cache(enabled=prior_enabled)
+            configure_replan_memo(enabled=prior_memo)
 
     def _run(
         self,
@@ -421,12 +534,79 @@ class ParallelRunner:
         max_makespan,
         start,
     ):
+        # Publish the scenario's traces (and compiled ensemble) once so
+        # workers attach instead of regenerating per task.  Serial runs
+        # skip it: the in-process path touches each trace exactly once.
+        publication = None
+        if self.use_shm and self.jobs > 1 and n_traces > 0:
+            try:
+                all_traces = [
+                    _job_trace(platform, horizon, seed, i)
+                    for i in range(n_traces)
+                ]
+                ensemble = (
+                    TraceEnsemble(all_traces, platform.recovery, t0)
+                    if self.use_batch
+                    else None
+                )
+                publication = _shm.publish_scenario(
+                    all_traces,
+                    ensemble,
+                    n_units=platform.num_nodes,
+                    downtime=platform.downtime,
+                    horizon=horizon,
+                    recovery=platform.recovery,
+                    t0=t0,
+                )
+            except Exception:
+                # no shared memory on this platform / size limits: fall
+                # back to per-task regeneration (bit-identical)
+                publication = None
+        try:
+            return self._run_phases(
+                policies,
+                platform,
+                work_time,
+                n_traces,
+                horizon,
+                t0,
+                seed,
+                include_lower_bound,
+                include_period_lb,
+                period_lb_factors,
+                period_lb_traces,
+                max_makespan,
+                start,
+                publication.layout if publication is not None else None,
+            )
+        finally:
+            if publication is not None:
+                publication.close()
+
+    def _run_phases(
+        self,
+        policies,
+        platform,
+        work_time,
+        n_traces,
+        horizon,
+        t0,
+        seed,
+        include_lower_bound,
+        include_period_lb,
+        period_lb_factors,
+        period_lb_traces,
+        max_makespan,
+        start,
+        layout,
+    ):
         # Imported here: runner imports this module's config helpers, so
         # a module-level import would be circular.
         from repro.simulation.runner import LOWER_BOUND, PERIOD_LB, ScenarioResult
         from repro.simulation.runner import _optexp_period
 
         hits = misses = 0
+        memo_hits = memo_misses = 0
 
         indices = list(range(n_traces))
         tasks = [
@@ -442,6 +622,8 @@ class ParallelRunner:
                 max_makespan=max_makespan,
                 use_cache=self.use_cache,
                 use_batch=self.use_batch,
+                use_memo=self.use_memo,
+                layout=layout,
             )
             for batch in self._trace_batches(indices)
         ]
@@ -456,6 +638,8 @@ class ParallelRunner:
         for res in results:
             hits += res.cache_hits
             misses += res.cache_misses
+            memo_hits += res.memo_hits
+            memo_misses += res.memo_misses
             for name, pairs in res.per_policy.items():
                 for index, (span, det) in zip(res.indices, pairs):
                     makespans[name][index] = span
@@ -497,14 +681,20 @@ class ParallelRunner:
                     max_makespan=max_makespan,
                     use_cache=self.use_cache,
                     use_batch=self.use_batch,
+                    use_memo=self.use_memo,
+                    layout=layout,
                 )
                 for batch in _chunk(list(periods), per_unit)
             ]
             means: list[float] = []
-            for batch_means, h, m in self._map(_run_period_task, period_tasks):
+            for batch_means, h, m, mh, mm in self._map(
+                _run_period_task, period_tasks
+            ):
                 means.extend(batch_means)
                 hits += h
                 misses += m
+                memo_hits += mh
+                memo_misses += mm
             best = int(np.argmin(means))
             best_period = float(periods[best])
 
@@ -521,6 +711,8 @@ class ParallelRunner:
                     max_makespan=max_makespan,
                     use_cache=self.use_cache,
                     use_batch=self.use_batch,
+                    use_memo=self.use_memo,
+                    layout=layout,
                 )
                 for batch in self._trace_batches(indices)
             ]
@@ -528,6 +720,8 @@ class ParallelRunner:
             for res in self._map(_run_trace_task, winner_tasks):
                 hits += res.cache_hits
                 misses += res.cache_misses
+                memo_hits += res.memo_hits
+                memo_misses += res.memo_misses
                 for index, (span, _det) in zip(res.indices, res.per_policy[PERIOD_LB]):
                     lb_period_spans[index] = span
             makespans[PERIOD_LB] = lb_period_spans
@@ -542,4 +736,6 @@ class ParallelRunner:
             n_jobs=self.jobs,
             cache_hits=hits,
             cache_misses=misses,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
         )

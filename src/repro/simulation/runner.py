@@ -62,6 +62,10 @@ class ScenarioResult:
     cache_hits / cache_misses:
         DP-table cache lookups observed during the run, aggregated over
         all workers (see :mod:`repro.core.cache`).
+    memo_hits / memo_misses:
+        DPNextFailure replan-memo lookups observed during the run,
+        aggregated over all workers; both zero when no adaptive policy
+        ran or the memo was disabled (``use_memo=False``).
     """
 
     makespans: dict[str, np.ndarray]
@@ -73,6 +77,8 @@ class ScenarioResult:
     n_jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     def policy_names(self) -> list[str]:
         """Every recorded policy, including LowerBound/PeriodLB."""
@@ -102,6 +108,8 @@ def run_scenarios(
     use_cache: bool | None = None,
     batch_size: int | None = None,
     use_batch: bool | None = None,
+    use_memo: bool | None = None,
+    use_shm: bool | None = None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
 
@@ -119,7 +127,10 @@ def run_scenarios(
     bypasses the shared DP table cache; ``use_batch=False`` forces the
     scalar engine for policies the vectorized batch replay
     (:mod:`repro.simulation.batch`) would otherwise handle — results
-    are bit-identical either way.
+    are bit-identical either way.  ``use_memo=False`` bypasses the
+    cross-trace DPNextFailure replan memo and ``use_shm=False`` the
+    shared-memory trace publication (parallel runs then regenerate
+    traces per work unit) — again without changing any result.
     """
     # Imported here: parallel drives the engine and policies, so a
     # module-level import would be circular through the package inits.
@@ -130,6 +141,8 @@ def run_scenarios(
         batch_size=batch_size,
         use_cache=use_cache,
         use_batch=use_batch,
+        use_memo=use_memo,
+        use_shm=use_shm,
     )
     return runner.run(
         policies,

@@ -184,3 +184,177 @@ class TestExecutionConfig:
     def test_config_dataclass_defaults(self):
         cfg = ExecutionConfig()
         assert cfg.jobs == 1 and cfg.use_cache is True and cfg.batch_size is None
+        assert cfg.use_memo is True and cfg.use_shm is True
+
+    def test_memo_shm_defaults_roundtrip(self):
+        original = get_default_execution()
+        try:
+            set_default_execution(use_memo=False, use_shm=False)
+            runner = ParallelRunner()
+            assert runner.use_memo is False and runner.use_shm is False
+            runner = ParallelRunner(use_memo=True, use_shm=True)
+            assert runner.use_memo is True and runner.use_shm is True
+        finally:
+            set_default_execution(
+                use_memo=original.use_memo,
+                use_shm=original.use_shm,
+            )
+
+
+class TestReplanMemo:
+    """Cross-trace replan memo: identical results with the memo on or
+    off, serial or parallel, and counters surfaced in the result."""
+
+    def _dp_run(self, **kw):
+        from repro.core.cache import clear_cache, clear_replan_memo
+
+        clear_cache()
+        clear_replan_memo()
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        base = dict(
+            work_time=0.25 * DAY,
+            n_traces=6,
+            horizon=200 * DAY,
+            seed=7,
+            include_lower_bound=False,
+            include_period_lb=False,
+        )
+        base.update(kw)
+        return run_scenarios(
+            [DPNextFailurePolicy(n_grid=24)], platform, **base
+        )
+
+    def test_memo_on_off_identical_serial(self):
+        on = self._dp_run(jobs=1, use_memo=True)
+        off = self._dp_run(jobs=1, use_memo=False)
+        assert np.array_equal(
+            on.makespans["DPNextFailure"], off.makespans["DPNextFailure"]
+        )
+
+    def test_memo_serial_parallel_identical_with_counters(self):
+        serial = self._dp_run(jobs=1, use_memo=True)
+        parallel = self._dp_run(jobs=2, use_memo=True)
+        assert np.array_equal(
+            serial.makespans["DPNextFailure"],
+            parallel.makespans["DPNextFailure"],
+        )
+        # every replan consults the memo; at least the cross-trace
+        # fresh-platform plan hits on both execution paths
+        assert serial.memo_misses >= 1 and serial.memo_hits >= 1
+        assert parallel.memo_misses >= 1
+        assert parallel.memo_hits + parallel.memo_misses > 0
+
+    def test_memo_off_reports_zero_hits(self):
+        res = self._dp_run(jobs=1, use_memo=False)
+        assert res.memo_hits == 0
+        # disabled memo still counts solves as misses
+        assert res.memo_misses >= 1
+
+
+class TestSharedMemory:
+    """Shared-memory trace publication: bit-identical to regeneration,
+    robust to publish/attach failures."""
+
+    def _run_shm(self, **kw):
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        base = dict(
+            work_time=0.25 * DAY,
+            n_traces=6,
+            horizon=200 * DAY,
+            seed=11,
+            include_lower_bound=True,
+            include_period_lb=False,
+        )
+        base.update(kw)
+        return run_scenarios([Young(), OptExp()], platform, **base)
+
+    def test_shm_on_off_identical(self):
+        on = self._run_shm(jobs=2, use_shm=True)
+        off = self._run_shm(jobs=2, use_shm=False)
+        serial = self._run_shm(jobs=1)
+        for name in serial.makespans:
+            assert np.array_equal(on.makespans[name], serial.makespans[name]), name
+            assert np.array_equal(off.makespans[name], serial.makespans[name]), name
+
+    def test_publish_failure_falls_back(self, monkeypatch):
+        import repro.simulation.shm as shm_mod
+
+        def boom(*a, **kw):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(shm_mod, "publish_scenario", boom)
+        res = self._run_shm(jobs=2, use_shm=True)
+        serial = self._run_shm(jobs=1)
+        for name in serial.makespans:
+            assert np.array_equal(res.makespans[name], serial.makespans[name]), name
+
+    def test_attach_failure_falls_back(self, monkeypatch):
+        # Workers are forked, so they inherit the monkeypatched module
+        # attribute; _task_traces must swallow the failure and
+        # regenerate from the determinism anchor.
+        import repro.simulation.shm as shm_mod
+
+        def boom(layout):
+            raise OSError("attach refused")
+
+        monkeypatch.setattr(shm_mod, "attach_scenario", boom)
+        res = self._run_shm(jobs=2, use_shm=True)
+        serial = self._run_shm(jobs=1)
+        for name in serial.makespans:
+            assert np.array_equal(res.makespans[name], serial.makespans[name]), name
+
+    def test_publish_attach_roundtrip(self):
+        from repro.simulation import shm as shm_mod
+        from repro.simulation.batch import TraceEnsemble
+        from repro.simulation.parallel import _job_trace
+
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        horizon = 50 * DAY
+        traces = [_job_trace(platform, horizon, seed=3, index=i) for i in range(4)]
+        ensemble = TraceEnsemble(traces, platform.recovery, 0.0)
+        pub = shm_mod.publish_scenario(
+            traces,
+            ensemble,
+            n_units=platform.num_nodes,
+            downtime=platform.downtime,
+            horizon=horizon,
+            recovery=platform.recovery,
+            t0=0.0,
+        )
+        try:
+            with shm_mod.attach_scenario(pub.layout) as scenario:
+                for i, tr in enumerate(traces):
+                    got = scenario.job_traces(i)
+                    assert np.array_equal(got.times, tr.times)
+                    assert np.array_equal(got.units, tr.units)
+                    assert got.n_units == tr.n_units
+                    assert got.downtime == tr.downtime
+                    assert got.horizon == tr.horizon
+                # Row-slices of the global ensemble vs an ensemble
+                # compiled from just those traces: identical up to the
+                # narrower padding width, inert +inf/carry padding after.
+                sub = scenario.ensemble_rows([1, 3])
+                full = TraceEnsemble([traces[1], traces[3]], platform.recovery, 0.0)
+                w = full.fail.shape[1]
+                assert np.array_equal(sub.t_start, full.t_start)
+                assert np.array_equal(sub.fail[:, :w], full.fail)
+                assert np.array_equal(sub.resume[:, :w], full.resume)
+                assert np.array_equal(sub.cumfail[:, :w], full.cumfail)
+                assert np.all(np.isinf(sub.fail[:, w:]))
+                assert np.array_equal(
+                    sub.cumfail[:, w:],
+                    np.broadcast_to(
+                        sub.cumfail[:, w - 1 : w], sub.cumfail[:, w:].shape
+                    ),
+                )
+        finally:
+            pub.close()
+
+    def test_publish_empty_raises(self):
+        from repro.simulation import shm as shm_mod
+
+        with pytest.raises(ValueError):
+            shm_mod.publish_scenario(
+                [], None, n_units=1, downtime=0.0, horizon=1.0,
+                recovery=0.0, t0=0.0,
+            )
