@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-fix test test-fast bench-smoke bench-engine bench-dp verify
+.PHONY: lint lint-fix test test-fast bench-smoke bench-engine bench-dp \
+	service-smoke verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
 # runs the full R1-R8 rule set — per-file and whole-program — over
@@ -54,6 +55,13 @@ bench-engine:
 bench-dp:
 	$(PYTHON) benchmarks/bench_dp_pipeline.py --smoke
 
+# Scenario-service acceptance check: boots a real daemon on an
+# ephemeral port, drives it through the CLI, asserts daemon results are
+# bit-identical to a direct `repro run` and that resubmission is served
+# from the result store (docs/service.md).
+service-smoke:
+	$(PYTHON) -m repro.service.smoke
+
 # What CI / pre-merge should run (CI also runs bench-engine as its own
 # step).
-verify: lint test-fast bench-smoke
+verify: lint test-fast bench-smoke service-smoke

@@ -10,6 +10,7 @@ from repro.cluster.models import (
     OverheadModel,
     Platform,
     ProportionalOverhead,
+    SplitOverhead,
     WorkModel,
 )
 from repro.cluster.presets import (
@@ -28,6 +29,7 @@ __all__ = [
     "NumericalKernel",
     "OverheadModel",
     "ConstantOverhead",
+    "SplitOverhead",
     "ProportionalOverhead",
     "Platform",
     "PlatformPreset",

@@ -32,6 +32,7 @@ __all__ = [
     "NumericalKernel",
     "OverheadModel",
     "ConstantOverhead",
+    "SplitOverhead",
     "ProportionalOverhead",
     "Platform",
 ]
@@ -115,6 +116,24 @@ class ConstantOverhead(OverheadModel):
 
     def checkpoint(self, p: int) -> float:
         return self.c
+
+
+@dataclass(frozen=True)
+class SplitOverhead(OverheadModel):
+    """``C(p) = c``, ``R(p) = r`` — independent constants.
+
+    The paper always uses ``R = C``; the scenario service accepts them
+    separately, so its specs need an overhead model that can carry both.
+    """
+
+    c: float
+    r: float
+
+    def checkpoint(self, p: int) -> float:
+        return self.c
+
+    def recovery(self, p: int) -> float:
+        return self.r
 
 
 @dataclass(frozen=True)

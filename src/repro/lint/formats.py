@@ -16,7 +16,7 @@ from typing import Any
 from repro.lint.engine import LintReport
 from repro.lint.registry import all_rules
 
-__all__ = ["FORMATS", "render_report"]
+__all__ = ["FORMATS", "render_report", "report_to_dict"]
 
 FORMATS = ("text", "json", "sarif")
 
@@ -38,6 +38,12 @@ def render_report(report: LintReport, fmt: str) -> str:
     if fmt == "sarif":
         return json.dumps(_sarif_doc(report), indent=2)
     raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}")
+
+
+def report_to_dict(report: LintReport) -> dict[str, Any]:
+    """The ``--format json`` document as a plain dict — what the CLI
+    embeds in its JSON envelope (``repro lint`` data payload)."""
+    return _json_doc(report)
 
 
 def _json_doc(report: LintReport) -> dict[str, Any]:

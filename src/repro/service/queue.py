@@ -1,0 +1,254 @@
+"""The daemon's job queue: submit/poll semantics over the runner tier.
+
+Jobs move through ``queued -> running -> done | failed``; a submission
+whose signature is already archived short-circuits to ``cached`` and
+never enters the queue, and a submission whose signature is already
+queued or running **coalesces** onto the live job instead of solving
+the same scenario twice.  Worker threads drain the queue; each job's
+scenario execution fans out over ParallelRunner processes, so the
+queue's worker count bounds *concurrent scenarios* while the execution
+config bounds *processes per scenario*.
+
+Thread-safety: one lock guards the job table; records hand out
+JSON-ready snapshots (:meth:`JobRecord.to_status_dict`) rather than
+live references.  Progress is fed by the runner's per-work-unit
+callback (PR-6 plumbing in :class:`ParallelRunner`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.serialize import scenario_result_to_dict
+from repro.service.spec import ScenarioSpec
+from repro.service.store import ResultStore
+
+__all__ = ["ExecutionOptions", "JobQueue", "JobRecord"]
+
+#: Job states; ``cached`` and ``done`` both carry a result.
+STATES = ("queued", "running", "done", "failed", "cached")
+_TERMINAL = ("done", "failed", "cached")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Execution knobs a submission may carry; never part of the
+    signature (they cannot change results, only wall-clock)."""
+
+    jobs: int | None = None
+    use_cache: bool | None = None
+    use_batch: bool | None = None
+    use_memo: bool | None = None
+    use_shm: bool | None = None
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "ExecutionOptions":
+        if not raw:
+            return cls()
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown execution keys: {sorted(unknown)}")
+        return cls(**raw)
+
+
+@dataclass
+class JobRecord:
+    """Mutable in-daemon state of one submitted scenario."""
+
+    job_id: str
+    signature: str
+    spec: ScenarioSpec
+    execution: ExecutionOptions
+    state: str = "queued"
+    error: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    progress_done: int = 0
+    progress_total: int = 0
+    store_hits: int = 0
+    result_doc: dict[str, Any] | None = None
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def to_status_dict(self) -> dict[str, Any]:
+        """JSON-ready status snapshot (no result payload)."""
+        return {
+            "job_id": self.job_id,
+            "signature": self.signature,
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": {
+                "done": self.progress_done,
+                "total": self.progress_total,
+            },
+            "cached": self.state == "cached",
+            "store_hits": self.store_hits,
+            "spec": self.spec.to_dict(),
+        }
+
+
+class JobQueue:
+    """Thread-backed scenario queue in front of a :class:`ResultStore`."""
+
+    def __init__(self, store: ResultStore | None = None, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store if store is not None else ResultStore()
+        self._jobs: dict[str, JobRecord] = {}
+        self._by_signature: dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._tasks: _queue.Queue[str | None] = _queue.Queue()
+        self._workers = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-job-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: ScenarioSpec,
+        execution: ExecutionOptions | None = None,
+    ) -> JobRecord:
+        """Register a scenario; returns its (possibly pre-existing) job.
+
+        Store hit -> a fresh ``cached`` job carrying the archived
+        result.  Live job with the same signature -> that job (the
+        caller polls the first submission's progress).  Otherwise a new
+        ``queued`` job.
+        """
+        execution = execution if execution is not None else ExecutionOptions()
+        signature = spec.signature()
+        with self._lock:
+            live_id = self._by_signature.get(signature)
+            if live_id is not None and not self._jobs[live_id].terminal:
+                return self._jobs[live_id]
+            entry = self.store.get(signature)
+            job = JobRecord(
+                job_id=f"job-{next(self._ids):06d}",
+                signature=signature,
+                spec=spec,
+                execution=execution,
+                submitted_at=time.time(),
+            )
+            if entry is not None:
+                job.state = "cached"
+                job.result_doc = entry.result
+                job.store_hits = entry.hits
+                job.finished_at = job.submitted_at
+                job._event.set()
+            else:
+                self._by_signature[signature] = job.job_id
+            self._jobs[job.job_id] = job
+            if job.state == "queued":
+                self._tasks.put(job.job_id)
+            return job
+
+    # -- execution -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._tasks.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != "queued":
+                    continue
+                job.state = "running"
+                job.started_at = time.time()
+            self._execute(job)
+
+    def _execute(self, job: JobRecord) -> None:
+        def on_progress(done: int, total: int) -> None:
+            job.progress_done = done
+            job.progress_total = total
+
+        try:
+            result = job.spec.run(
+                jobs=job.execution.jobs,
+                use_cache=job.execution.use_cache,
+                use_batch=job.execution.use_batch,
+                use_memo=job.execution.use_memo,
+                use_shm=job.execution.use_shm,
+                progress=on_progress,
+            )
+            result_doc = scenario_result_to_dict(result)
+            self.store.put(job.signature, job.spec.to_dict(), result_doc)
+            with self._lock:
+                job.result_doc = result_doc
+                job.state = "done"
+                job.finished_at = time.time()
+                self._by_signature.pop(job.signature, None)
+        except Exception as exc:
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                job.finished_at = time.time()
+                self._by_signature.pop(job.signature, None)
+            # full trace belongs in the daemon's stderr log, not the API
+            traceback.print_exc()
+        finally:
+            job._event.set()
+
+    # -- queries -------------------------------------------------------
+
+    def _job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """JSON-ready status snapshot of one job (KeyError if unknown)."""
+        return self._job(job_id).to_status_dict()
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The archived result document of a finished job.
+
+        Raises :class:`KeyError` for unknown jobs and
+        :class:`LookupError` for jobs that have no result (yet)."""
+        job = self._job(job_id)
+        if job.result_doc is None:
+            raise LookupError(
+                f"job {job_id} is {job.state}; no result available"
+            )
+        return job.result_doc
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Status snapshots of every job, oldest first."""
+        with self._lock:
+            records = sorted(self._jobs.values(), key=lambda j: j.job_id)
+        return [job.to_status_dict() for job in records]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True if it finished in time."""
+        return self._job(job_id)._event.wait(timeout)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the worker threads after their current job."""
+        for _ in self._workers:
+            self._tasks.put(None)
+        for thread in self._workers:
+            thread.join(timeout=30.0)

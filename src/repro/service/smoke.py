@@ -1,0 +1,177 @@
+"""End-to-end service smoke check (``make service-smoke``).
+
+Boots a real daemon as a subprocess, drives it through the real CLI
+(``repro submit`` / ``status`` / ``result``), and asserts the two
+acceptance properties of the scenario service:
+
+1. **bit-identity** — the result fetched through submit → poll →
+   result equals a direct ``repro run`` of the same spec, field for
+   field, under canonical JSON;
+2. **store hit** — re-submitting the same scenario signature is
+   answered from the result store (state ``cached``) with the hit
+   counter visible in the status JSON.
+
+Run it as ``python -m repro.service.smoke``; exits 0 on success, 1 on
+any property violation, with a step-by-step narrative on stderr.  CI
+runs this against every push (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.service.envelope import validate_envelope
+
+__all__ = ["main"]
+
+#: A deliberately tiny scenario: two fast analytical policies, two
+#: traces, two hours of work — seconds of wall clock, yet it exercises
+#: spec canonicalization, the queue, the store and serialization.
+_SPEC_ARGS = [
+    "--work", "2h", "--mtbf", "4h", "--traces", "2",
+    "--policies", "young,dalylow",
+]
+
+_STARTUP_DEADLINE = 30.0
+
+
+def _say(message: str) -> None:
+    print(f"[smoke] {message}", file=sys.stderr)
+
+
+def _cli(*args: str, check: bool = True) -> dict[str, Any]:
+    """Run one ``repro`` subcommand; parse + validate its envelope."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+    )
+    if check and proc.returncode != 0:
+        _say(f"command {' '.join(args)} exited {proc.returncode}")
+        _say(proc.stderr)
+        raise SystemExit(1)
+    try:
+        env = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        _say(f"non-JSON stdout from {' '.join(args)}: {proc.stdout[:200]!r}")
+        raise SystemExit(1) from None
+    problems = validate_envelope(env)
+    if problems:
+        _say(f"malformed envelope from {' '.join(args)}: {problems}")
+        raise SystemExit(1)
+    return env
+
+
+def _wait_for_endpoint(daemon: subprocess.Popen[str]) -> str:
+    """Read the daemon's startup envelope from its stdout."""
+    deadline = time.monotonic() + _STARTUP_DEADLINE
+    assert daemon.stdout is not None
+    buffer = ""
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            _say(f"daemon exited early with {daemon.returncode}")
+            raise SystemExit(1)
+        buffer += daemon.stdout.readline()
+        try:
+            env = json.loads(buffer)
+        except json.JSONDecodeError:
+            continue
+        return str(env["data"]["endpoint"])
+    _say("daemon did not announce an endpoint in time")
+    raise SystemExit(1)
+
+
+def _result_payload(env: dict[str, Any]) -> dict[str, Any]:
+    """The comparable part of a result doc: everything that is a
+    *result*, excluding run metadata (elapsed wall-clock, worker count,
+    cache counters) that legitimately differs between executions."""
+    doc = env["data"]["result"]
+    keep = ("format", "makespans", "details", "work_time", "best_period",
+            "infeasible")
+    return {k: doc[k] for k in keep}
+
+
+def main() -> int:
+    """Run the smoke sequence; 0 = all properties hold, 1 = violation."""
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    store_dir = Path(tmp) / ".repro-service"
+    _say(f"store at {store_dir}")
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store-dir", str(store_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        endpoint = _wait_for_endpoint(daemon)
+        _say(f"daemon up at {endpoint}")
+        os.environ["REPRO_ENDPOINT"] = endpoint
+
+        # 1. submit → wait → result through the daemon
+        env = _cli("submit", *_SPEC_ARGS, "--wait", "--timeout", "120")
+        job_id = env["data"]["job_id"]
+        signature = env["data"]["signature"]
+        state = env["data"]["state"]
+        _say(f"{job_id} ({signature[:12]}) -> {state}")
+        if state != "done":
+            _say(f"expected first submit to end 'done', got {state!r}")
+            return 1
+        via_daemon = _cli("result", job_id)
+
+        # 2. the same spec run directly, no daemon involved
+        direct = _cli("run", *_SPEC_ARGS)
+        if direct["data"]["signature"] != signature:
+            _say("CLI and daemon disagree on the scenario signature")
+            return 1
+        a = json.dumps(_result_payload(via_daemon), sort_keys=True)
+        b = json.dumps(_result_payload(direct), sort_keys=True)
+        if a != b:
+            _say("FAIL: daemon result differs from direct run")
+            return 1
+        _say("bit-identity: daemon result == direct run")
+
+        # 3. resubmit: must be served from the store, hit counter up
+        env = _cli("submit", *_SPEC_ARGS)
+        if env["data"]["state"] != "cached":
+            _say(f"expected resubmit state 'cached', got "
+                 f"{env['data']['state']!r}")
+            return 1
+        if int(env["data"]["store_hits"]) < 1:
+            _say("store hit counter did not advance")
+            return 1
+        _say(f"resubmit served from store "
+             f"(hits={env['data']['store_hits']})")
+
+        # 4. the status listing shows both jobs, terminal
+        env = _cli("status")
+        states = {j["job_id"]: j["state"] for j in env["data"]["jobs"]}
+        if len(states) != 2 or set(states.values()) != {"done", "cached"}:
+            _say(f"unexpected job listing: {states}")
+            return 1
+
+        # 5. store stats agree
+        env = _cli("store", "--store-dir", str(store_dir))
+        if env["data"]["entries"] != 1 or env["data"]["total_hits"] < 1:
+            _say(f"unexpected store stats: {env['data']}")
+            return 1
+        _say("service smoke PASSED")
+        return 0
+    finally:
+        daemon.terminate()
+        try:
+            daemon.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
@@ -429,6 +430,13 @@ class ParallelRunner:
         reads the default.  Only engaged with ``jobs > 1``; falls back
         to per-task regeneration on any failure.  Bit-identical either
         way (``--no-shm`` forces regeneration).
+    progress:
+        Optional callback ``progress(done, total)`` invoked after every
+        completed work unit (trace batch, period batch, winner batch).
+        ``total`` grows as later phases enqueue their units, so treat it
+        as the best current estimate, not a constant.  Used by the
+        scenario service for its status/stream JSON; never affects
+        results.  Exceptions raised by the callback propagate.
     """
 
     def __init__(
@@ -439,6 +447,7 @@ class ParallelRunner:
         use_batch: bool | None = None,
         use_memo: bool | None = None,
         use_shm: bool | None = None,
+        progress: Callable[[int, int], None] | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.batch_size = (
@@ -454,17 +463,35 @@ class ParallelRunner:
             _DEFAULT.use_memo if use_memo is None else bool(use_memo)
         )
         self.use_shm = _DEFAULT.use_shm if use_shm is None else bool(use_shm)
+        self.progress = progress
+        self._units_done = 0
+        self._units_total = 0
 
     # -- internal dispatch ---------------------------------------------
 
+    def _unit_done(self) -> None:
+        self._units_done += 1
+        if self.progress is not None:
+            self.progress(self._units_done, self._units_total)
+
     def _map(self, fn, tasks: list):
         """Run ``fn`` over ``tasks``, in process or on the pool; results
-        come back in task order either way."""
+        come back in task order either way.  Each completed task ticks
+        the progress callback."""
+        self._units_total += len(tasks)
         if self.jobs <= 1 or len(tasks) <= 1:
-            return [fn(t) for t in tasks]
+            out = []
+            for t in tasks:
+                out.append(fn(t))
+                self._unit_done()
+            return out
         workers = min(self.jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, tasks))
+            out = []
+            for result in pool.map(fn, tasks):
+                out.append(result)
+                self._unit_done()
+            return out
 
     def _trace_batches(self, indices: list[int]) -> list[list[int]]:
         if self.batch_size is not None:
@@ -494,6 +521,8 @@ class ParallelRunner:
         :func:`repro.simulation.runner.run_scenarios` for semantics."""
         # diagnostic elapsed-time only; never feeds simulation state
         start = time.perf_counter()  # reprolint: disable=R1
+        self._units_done = 0
+        self._units_total = 0
         prior_enabled = get_cache().enabled
         prior_memo = get_replan_memo().enabled
         configure_cache(enabled=self.use_cache)

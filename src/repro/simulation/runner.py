@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -110,6 +111,7 @@ def run_scenarios(
     use_batch: bool | None = None,
     use_memo: bool | None = None,
     use_shm: bool | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
 
@@ -131,6 +133,8 @@ def run_scenarios(
     cross-trace DPNextFailure replan memo and ``use_shm=False`` the
     shared-memory trace publication (parallel runs then regenerate
     traces per work unit) — again without changing any result.
+    ``progress`` is an optional ``(done, total)`` work-unit callback
+    (see :class:`~repro.simulation.parallel.ParallelRunner`).
     """
     # Imported here: parallel drives the engine and policies, so a
     # module-level import would be circular through the package inits.
@@ -143,6 +147,7 @@ def run_scenarios(
         use_batch=use_batch,
         use_memo=use_memo,
         use_shm=use_shm,
+        progress=progress,
     )
     return runner.run(
         policies,

@@ -1,0 +1,140 @@
+"""The CLI JSON contract: stdout is always one valid envelope.
+
+Parametrized over every subcommand (including failure paths): stdout
+must parse as a single JSON document and satisfy the documented
+envelope schema (``docs/service.md``).  The one exemption —
+``repro lint --format sarif`` — must still be a single valid JSON
+document, just a SARIF one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.service.envelope import (
+    SCHEMA,
+    envelope,
+    error_envelope,
+    from_jsonable,
+    jsonable,
+    validate_envelope,
+)
+
+_TINY = ["--work", "2h", "--mtbf", "4h", "--traces", "1",
+         "--policies", "young"]
+
+# absolute so the cases survive the per-test chdir into tmp_path
+_UNITS_PY = str(Path(__file__).resolve().parent.parent
+                / "src" / "repro" / "units.py")
+
+# (argv, expected exit code) — every subcommand that can run without a
+# daemon, plus representative failure paths.
+_CASES = [
+    (["plan"], 0),
+    (["plan", "--work", "1h", "--mtbf", "1d"], 0),
+    (["mtbf", "--p", "64"], 0),
+    (["simulate", "--traces", "1", "--work", "2h", "--mtbf", "4h",
+      "--policy", "young"], 0),
+    (["experiment", "fig1"], 0),
+    (["lint", _UNITS_PY], 0),
+    (["lint", "--list-rules"], 0),
+    (["run", *_TINY], 0),
+    (["compare", *_TINY, "--policies", "young,dalylow"], 0),
+    (["benchmark", *_TINY], 0),
+    (["store"], 0),
+    # failure paths: still exactly one envelope on stdout
+    (["run", "--override", "mtbf=-1"], 2),
+    (["run", "--override", "nosuchfield=1"], 2),
+    (["submit", *_TINY, "--endpoint", "http://127.0.0.1:1"], 2),
+    (["status", "job-000001", "--endpoint", "http://127.0.0.1:1"], 2),
+    (["result", "job-000001", "--endpoint", "http://127.0.0.1:1"], 2),
+]
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    _CASES,
+    ids=[" ".join(c[0][:2]) + f"#{i}" for i, c in enumerate(_CASES)],
+)
+def test_stdout_is_one_valid_envelope(argv, expected, capsys, tmp_path,
+                                      monkeypatch):
+    monkeypatch.chdir(tmp_path)  # store/cache paths land in tmp
+    monkeypatch.setenv("PYTHONPATH", "")
+    rc = main(argv)
+    out = capsys.readouterr().out
+    env = json.loads(out)  # must parse as ONE document
+    assert validate_envelope(env) == []
+    assert env["schema"] == SCHEMA
+    assert rc == expected
+    assert env["exit_code"] == expected
+    assert env["ok"] is (expected == 0)
+    if expected != 0:
+        assert env["error"]["type"]
+        assert env["error"]["message"]
+
+
+def test_sarif_exemption_is_still_valid_json(capsys):
+    assert main(["lint", _UNITS_PY, "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    # a SARIF document, not an envelope
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+
+def test_lint_findings_exit_one_with_envelope(capsys, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")  # missing future import, R1 random
+    rc = main(["lint", str(bad), "--no-cache"])
+    env = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert env["ok"] is False
+    assert env["exit_code"] == 1
+    assert env["data"]["diagnostics"]
+
+
+class TestEnvelopeHelpers:
+    def test_envelope_shape(self):
+        env = envelope("x", {"a": 1})
+        assert validate_envelope(env) == []
+        assert env["command"] == "x"
+
+    def test_error_envelope_shape(self):
+        env = error_envelope("x", "ValueError", "boom")
+        assert validate_envelope(env) == []
+        assert env["exit_code"] == 2
+        assert env["error"] == {"type": "ValueError", "message": "boom"}
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda e: e.pop("schema"),
+            lambda e: e.update(schema="other/v9"),
+            lambda e: e.update(ok="yes"),
+            lambda e: e.update(ok=False),  # ok false but error None
+            lambda e: e.update(exit_code=1),  # ok true but nonzero
+            lambda e: e.update(error={"type": "X"}),  # ok true with error
+        ],
+    )
+    def test_validate_rejects(self, mutation):
+        env = envelope("x", {})
+        mutation(env)
+        assert validate_envelope(env) != []
+
+    def test_nonfinite_floats_round_trip(self):
+        values = {"nan": math.nan, "inf": math.inf, "ninf": -math.inf,
+                  "plain": 0.1}
+        encoded = jsonable(values)
+        assert encoded["nan"] == "NaN"
+        assert encoded["inf"] == "Infinity"
+        # strict JSON: the encoded form survives json.dumps(allow_nan=False)
+        text = json.dumps(encoded, allow_nan=False)
+        decoded = from_jsonable(json.loads(text))
+        assert math.isnan(decoded["nan"])
+        assert decoded["inf"] == math.inf
+        assert decoded["ninf"] == -math.inf
+        assert decoded["plain"] == 0.1

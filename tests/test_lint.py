@@ -529,7 +529,8 @@ def test_cli_list_rules(capsys):
 def test_cli_exit_codes(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
     assert main(["lint", str(FIXTURES / "r4_fail.py")]) == 1
-    assert "R4[api-hygiene]" in capsys.readouterr().out
+    env = json.loads(capsys.readouterr().out)  # stdout is the envelope now
+    assert "R4" in {d["code"] for d in env["data"]["diagnostics"]}
     assert main(["lint", str(FIXTURES / "r4_pass.py")]) == 0
     assert main(["lint", "--select", "bogus", "src"]) == 2
     assert main(["lint", str(REPO / "no-such-dir")]) == 2
@@ -542,7 +543,7 @@ def test_cli_json_format(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
     assert main(["lint", "--format", "json",
                  str(FIXTURES / "r3_fail.py")]) == 1
-    doc = json.loads(capsys.readouterr().out)
+    doc = json.loads(capsys.readouterr().out)["data"]
     assert codes_from_json(doc) == {"R3"}
 
 
