@@ -45,7 +45,7 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.service.envelope import emit, envelope, error_envelope, hlog
+from repro.service.envelope import emit, emit_raw, envelope, error_envelope, hlog
 from repro.units import DAY, HOUR, MINUTE, WEEK, YEAR
 
 __all__ = ["main", "parse_duration"]
@@ -541,25 +541,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
             report = run_lint(paths, select=select, jobs=jobs)
     except (FileNotFoundError, KeyError) as exc:
         return emit(error_envelope("lint", type(exc).__name__, str(exc)))
+    if report.has_errors:
+        exit_code, summary = 2, "\nparse errors encountered"
+    elif report.diagnostics:
+        n = len(report.diagnostics)
+        exit_code, summary = 1, f"\n{n} finding{'s' if n != 1 else ''}"
+    else:
+        exit_code, summary = 0, ""
     if args.format == "sarif":
         # documented envelope exemption: stdout is the raw SARIF
         # document (a single valid JSON document) for CI archival
-        print(render_report(report, "sarif"))
-    else:
-        text = render_report(report, "text")
-        if text:
-            hlog(text)
-    if report.has_errors:
-        hlog("\nparse errors encountered")
-        exit_code = 2
-    elif report.diagnostics:
-        n = len(report.diagnostics)
-        hlog(f"\n{n} finding{'s' if n != 1 else ''}")
-        exit_code = 1
-    else:
-        exit_code = 0
-    if args.format == "sarif":
+        emit_raw(render_report(report, "sarif"))
+        if summary:
+            hlog(summary)
         return exit_code
+    text = render_report(report, "text")
+    if text:
+        hlog(text)
+    if summary:
+        hlog(summary)
     data = report_to_dict(report)
     data["fixed"] = fixed
     env = envelope(
@@ -982,7 +982,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except KeyboardInterrupt:
         hlog("interrupted")
-        return 130
+        return 130  # reprolint: disable=R11  (128+SIGINT shell convention)
     except BrokenPipeError:
         return 0
     except Exception as exc:

@@ -149,7 +149,8 @@ class DPTableCache:
             return CacheStats(self.hits, self.misses, len(self._data))
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
 
 _CACHE = DPTableCache()

@@ -1,18 +1,20 @@
 """Content-hash incremental cache for the lint engine.
 
-Linting is a pure function of (file content, rule implementations), so
-re-linting an unchanged tree should cost file hashing, not re-parsing.
-Each linted file gets one JSON entry under ``.reprolint-cache/`` keyed
-by the SHA-256 of its *path* and validated by the SHA-256 of its
-*content* plus a rule-set signature:
+Linting is a pure function of (file content, active rules, rule
+implementations), so re-linting an unchanged tree under an unchanged
+selection should cost file hashing, not re-parsing.  Each linted file
+gets one JSON entry under ``.reprolint-cache/`` keyed by the SHA-256 of
+its *path* and validated by the SHA-256 of its *content* plus a
+rule-set signature:
 
-- per-file diagnostics are stored for **all** per-file rules (selection
-  is applied at read time, so ``--select`` never invalidates entries);
+- the signature covers the **active selection** (``--select R2,R9``
+  and a full run produce different signatures, because the stored
+  diagnostics genuinely differ) and each selected rule's **source
+  hash**, so editing a rule module invalidates exactly the runs that
+  use it — no stale diagnostics from an old implementation;
 - the file's :class:`~repro.lint.project.ModuleInfo` summary and its
-  pragma map are stored alongside, so the whole-program pass (R6-R8)
-  can rebuild its model with **zero re-parses** on a warm cache;
-- any change to the rule set (new rule, changed message) bumps the
-  signature and invalidates everything at once.
+  pragma map are stored alongside, so the whole-program pass (R6-R8,
+  R11) can rebuild its model with **zero re-parses** on a warm cache.
 
 The cache directory is safe to delete at any time.
 """
@@ -20,17 +22,19 @@ The cache directory is safe to delete at any time.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
+import sys
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.lint.diagnostics import Diagnostic
 
 __all__ = ["LintCache", "default_cache_dir", "rules_signature"]
 
 # Bump when the engine's record layout or semantics change.
-_ENGINE_VERSION = 2
+_ENGINE_VERSION = 3
 
 _CACHE_DIR_NAME = ".reprolint-cache"
 
@@ -41,17 +45,35 @@ def default_cache_dir() -> Path:
     return Path(env) if env else Path.cwd() / _CACHE_DIR_NAME
 
 
-def rules_signature() -> str:
-    """Digest over every registered rule's identity and description.
+def _rule_source(rule: Any) -> str:
+    """Source text of the module defining ``rule`` — the true input to
+    its behavior, helpers included.  Falls back to the description for
+    rules whose source is unretrievable (REPL-defined, frozen)."""
+    module = sys.modules.get(type(rule).__module__)
+    if module is not None:
+        try:
+            return inspect.getsource(module)
+        except (OSError, TypeError):
+            pass
+    return str(rule.description)
 
-    Descriptions change when rule behavior changes (by convention), so
-    this invalidates the cache on rule evolution without hashing source.
+
+def rules_signature(rules: Iterable[Any] | None = None) -> str:
+    """Digest over the active rules' identities and source hashes.
+
+    ``rules`` is the resolved selection (default: every registered
+    rule).  Two runs share cache entries only when they agree on which
+    rules run *and* on those rules' implementations.
     """
-    from repro.lint.registry import all_rules
+    if rules is None:
+        from repro.lint.registry import all_rules
 
-    payload = "|".join(
-        f"{r.code}:{r.name}:{r.description}" for r in all_rules()
-    )
+        rules = all_rules()
+    parts = []
+    for r in sorted(rules, key=lambda r: (len(r.code), r.code)):
+        src = hashlib.sha256(_rule_source(r).encode()).hexdigest()[:16]
+        parts.append(f"{r.code}:{r.name}:{src}")
+    payload = "|".join(parts)
     digest = hashlib.sha256(f"v{_ENGINE_VERSION}|{payload}".encode()).hexdigest()
     return digest[:16]
 
@@ -63,10 +85,22 @@ def content_digest(data: bytes) -> str:
 class LintCache:
     """One-file-per-entry JSON cache under ``cache_dir``."""
 
-    def __init__(self, cache_dir: Path | None = None, enabled: bool = True):
+    def __init__(
+        self,
+        cache_dir: Path | None = None,
+        enabled: bool = True,
+        rules: Iterable[Any] | None = None,
+    ):
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.enabled = enabled
-        self._signature = rules_signature() if enabled else ""
+        self._signature = rules_signature(rules) if enabled else ""
+
+    def bind_rules(self, rules: Iterable[Any] | None) -> None:
+        """Re-key the cache to the active selection: entries written
+        under a different selection (or different rule source) stop
+        loading and are rewritten on the next store."""
+        if self.enabled:
+            self._signature = rules_signature(rules)
 
     def _entry_path(self, path: Path) -> Path:
         key = hashlib.sha256(path.resolve().as_posix().encode()).hexdigest()

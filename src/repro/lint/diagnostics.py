@@ -22,12 +22,17 @@ class Fix:
     ``edits`` are same-line text replacements; ``insert_line`` adds a
     whole new line *before* the given 1-based line number;
     ``add_units_import`` lists ``repro.units`` constant names the edited
-    file must import for the replacement text to resolve.
+    file must import for the replacement text to resolve;
+    ``add_imports`` lists whole import statements (e.g.
+    ``"from repro.service.envelope import hlog"``) the edited file must
+    contain — each is inserted at the import block unless an identical
+    line already exists.
     """
 
     edits: tuple[Edit, ...] = ()
     insert_line: tuple[int, str] | None = None
     add_units_import: tuple[str, ...] = ()
+    add_imports: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, order=True)

@@ -9,7 +9,7 @@ Two passes over the linted tree:
    cache (:mod:`repro.lint.cache`);
 2. **whole-program** — the :class:`~repro.lint.project.ProjectModel` is
    assembled from every file's summary (cached or fresh) and the
-   project rules (R6-R8) run over it.
+   project rules (R6-R8, R11) run over it.
 
 Because the cache stores summaries alongside diagnostics, a warm run
 over an unchanged tree re-parses **zero** files — including for the
@@ -158,13 +158,22 @@ def _parse_error(path: Path, line: int, col: int, message: str) -> Diagnostic:
     )
 
 
-def _file_rules() -> list[LintRule]:
-    return [r for r in all_rules() if not is_project_rule(r)]
+def _file_rules(rules: Sequence[LintRule] | None = None) -> list[LintRule]:
+    if rules is None:
+        rules = all_rules()
+    return [r for r in rules if not is_project_rule(r)]
 
 
-def _process_file(path: Path, cache: LintCache | None) -> FileResult:
-    """Lint one file through the cache: per-file diagnostics for *all*
-    rules (selection applied later), the module summary, and pragmas."""
+def _process_file(
+    path: Path,
+    cache: LintCache | None,
+    file_rules: Sequence[LintRule] | None = None,
+) -> FileResult:
+    """Lint one file through the cache: per-file diagnostics for the
+    *selected* per-file rules (the cache signature is keyed on that
+    selection), the module summary, and pragmas."""
+    if file_rules is None:
+        file_rules = _file_rules()
     try:
         raw = path.read_bytes()
     except OSError as exc:
@@ -212,7 +221,7 @@ def _process_file(path: Path, cache: LintCache | None) -> FileResult:
             pragmas = expand_decorator_pragmas(tree, parse_pragmas(lines))
             ctx = FileContext(path=path, source=source, tree=tree, lines=lines)
             diags: list[Diagnostic] = []
-            for rule in _file_rules():
+            for rule in file_rules:
                 for d in rule.check(ctx):
                     if not is_disabled(pragmas, d.line, d.code, d.name):
                         diags.append(d)
@@ -241,40 +250,55 @@ def _process_file(path: Path, cache: LintCache | None) -> FileResult:
 # -- process-pool worker (module level so it pickles) -------------------
 
 _POOL_CACHE: LintCache | None = None
+_POOL_RULES: list[LintRule] | None = None
 
 
-def _pool_init(cache_dir: str | None, enabled: bool) -> None:
-    global _POOL_CACHE
+def _pool_init(
+    cache_dir: str | None, enabled: bool, codes: tuple[str, ...] | None
+) -> None:
+    """Rebuild the cache and the resolved selection inside a worker:
+    rule objects do not pickle, so only the codes cross the boundary."""
+    global _POOL_CACHE, _POOL_RULES
+    rules = resolve_selection(codes)
+    _POOL_RULES = _file_rules(rules)
     _POOL_CACHE = (
-        LintCache(Path(cache_dir) if cache_dir else None, enabled=enabled)
+        LintCache(
+            Path(cache_dir) if cache_dir else None, enabled=enabled,
+            rules=rules,
+        )
         if enabled
         else None
     )
 
 
 def _pool_worker(path_str: str) -> FileResult:
-    return _process_file(Path(path_str), _POOL_CACHE)
+    return _process_file(Path(path_str), _POOL_CACHE, _POOL_RULES)
 
 
 def _process_files(
-    files: list[Path], cache: LintCache | None, jobs: int
+    files: list[Path],
+    cache: LintCache | None,
+    jobs: int,
+    rules: Sequence[LintRule],
 ) -> list[FileResult]:
+    file_rules = _file_rules(rules)
     if jobs > 1 and len(files) > 1:
         try:
             from concurrent.futures import ProcessPoolExecutor
 
             cache_dir = cache.cache_dir.as_posix() if cache else None
+            codes = tuple(r.code for r in rules)
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(files)),
                 initializer=_pool_init,
-                initargs=(cache_dir, cache is not None),
+                initargs=(cache_dir, cache is not None, codes),
             ) as pool:
                 return list(
                     pool.map(_pool_worker, [f.as_posix() for f in files])
                 )
         except (ImportError, OSError):  # no usable multiprocessing here
             pass
-    return [_process_file(f, cache) for f in files]
+    return [_process_file(f, cache, file_rules) for f in files]
 
 
 def run_lint(
@@ -286,17 +310,20 @@ def run_lint(
 ) -> LintReport:
     """Lint files and directories; the full engine entry point.
 
-    Per-file rules always *run* in full (cache entries must be
-    selection-independent); ``select`` filters which codes are
-    reported.  Project rules run only when selected, over a model
-    rebuilt from every file's summary.
+    Only the *selected* per-file rules run, and the cache is re-keyed
+    to that selection (plus each rule's source hash), so changing
+    ``--select`` re-analyzes while repeating a selection stays warm.
+    Project rules run only when selected, over a model rebuilt from
+    every file's summary.
     """
     rules = resolve_selection(select)
     selected_codes = {r.code for r in rules}
     project_rules = [r for r in rules if is_project_rule(r)]
+    if cache is not None:
+        cache.bind_rules(rules)
 
     files = list(iter_python_files(paths))
-    results = _process_files(files, cache, jobs)
+    results = _process_files(files, cache, jobs, rules)
 
     report = LintReport(files=len(files))
     for res in results:

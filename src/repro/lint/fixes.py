@@ -1,10 +1,12 @@
 """Application of machine-generated fixes (``repro lint --fix``).
 
-Only mechanical, semantics-preserving rewrites carry a
+Only mechanical rewrites carry a
 :class:`~repro.lint.diagnostics.Fix`: R2's unit-constant substitution
 (``1200.0`` -> ``20 * MINUTE``, IEEE-exact by construction of
-:mod:`repro.units`) and R4's missing
-``from __future__ import annotations`` insertion.  Everything else
+:mod:`repro.units`), R4's missing
+``from __future__ import annotations`` insertion, R11's
+``print(x)`` -> ``hlog(x)`` redirect (plus its import), and R12's
+explicit ``daemon=False`` on ``Thread(...)`` calls.  Everything else
 needs a human.
 
 Per file the engine applies, in order: same-line span edits (bottom-up
@@ -52,6 +54,7 @@ def _fix_file(path: Path, diags: Sequence[Diagnostic]) -> int:
     edits: list[Edit] = []
     inserts: list[tuple[int, str]] = []
     units_needed: set[str] = set()
+    imports_needed: set[str] = set()
     count = 0
     for d in diags:
         fix = d.fix
@@ -61,6 +64,7 @@ def _fix_file(path: Path, diags: Sequence[Diagnostic]) -> int:
         if fix.insert_line is not None:
             inserts.append(fix.insert_line)
         units_needed.update(fix.add_units_import)
+        imports_needed.update(fix.add_imports)
         count += 1
 
     lines = _apply_edits(lines, edits)
@@ -69,6 +73,8 @@ def _fix_file(path: Path, diags: Sequence[Diagnostic]) -> int:
         lines[at:at] = text.split("\n")
     if units_needed:
         lines = _ensure_units_import(lines, units_needed)
+    for statement in sorted(imports_needed):
+        lines = _ensure_import(lines, statement)
 
     new_source = "\n".join(lines) + ("\n" if trailing_newline else "")
     if new_source != source:
@@ -114,6 +120,18 @@ def _ensure_units_import(lines: list[str], needed: set[str]) -> list[str]:
             return lines
     at = _import_insert_index(lines)
     lines[at:at] = [_UNITS_IMPORT_PREFIX + ", ".join(sorted(needed))]
+    return lines
+
+
+def _ensure_import(lines: list[str], statement: str) -> list[str]:
+    """Guarantee the import ``statement`` appears in the file (matched
+    on the stripped line, so an existing import is never duplicated)."""
+    wanted = statement.strip()
+    for line in lines:
+        if line.strip() == wanted:
+            return lines
+    at = _import_insert_index(lines)
+    lines[at:at] = [wanted]
     return lines
 
 

@@ -21,7 +21,7 @@ __all__ = ["FORMATS", "render_report", "report_to_dict"]
 FORMATS = ("text", "json", "sarif")
 
 _TOOL_NAME = "reprolint"
-_TOOL_VERSION = "2.0.0"
+_TOOL_VERSION = "3.0.0"
 _SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"

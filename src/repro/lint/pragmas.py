@@ -18,6 +18,18 @@ applies: a pragma written on a **decorator line** also covers the
 ``def``/``class`` line it decorates (diagnostics anchor on the ``def``
 line, but the decorator is often where the offending mark lives), see
 :func:`expand_decorator_pragmas`.
+
+Two further directives feed the lock-discipline rule (R9) rather than
+silencing anything::
+
+    self._jobs = {}  # reprolint: guarded-by=_lock
+    def stats(self):  # reprolint: single-threaded
+
+``guarded-by=<attr>`` on an attribute assignment line *declares* the
+attribute guarded by the named lock attribute (R9 then demands every
+access happen under ``with self.<lock>:``); ``single-threaded`` on a
+``def`` line documents a method as never called concurrently, exempting
+its accesses from the discipline.
 """
 
 from __future__ import annotations
@@ -26,8 +38,30 @@ import ast
 import re
 
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_GUARDED_BY_RE = re.compile(r"#\s*reprolint:\s*guarded-by=([A-Za-z_]\w*)")
+_SINGLE_THREADED_RE = re.compile(r"#\s*reprolint:\s*single-threaded\b")
 
 ALL = "all"
+
+
+def guarded_by_annotations(lines: list[str]) -> dict[int, str]:
+    """Map 1-based line number -> lock attribute named by a
+    ``guarded-by=`` annotation on that line."""
+    out: dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        m = _GUARDED_BY_RE.search(text)
+        if m is not None:
+            out[lineno] = m.group(1)
+    return out
+
+
+def single_threaded_lines(lines: list[str]) -> set[int]:
+    """1-based line numbers carrying a ``single-threaded`` marker."""
+    return {
+        lineno
+        for lineno, text in enumerate(lines, start=1)
+        if _SINGLE_THREADED_RE.search(text)
+    }
 
 
 def parse_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:

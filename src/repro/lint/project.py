@@ -27,6 +27,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.lint.cfg import CFG, build_cfg
 from repro.lint.rules.common import call_name, dotted_name
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "SEED_PARAM_NAMES",
     "build_module_info",
     "module_name_for",
+    "wants_cfg",
 ]
 
 # Parameter / binding names that carry the reproducibility seed.
@@ -104,6 +106,9 @@ class FunctionInfo:
     seed_shadows: list[tuple[str, int, int]] = field(default_factory=list)
     samples_directly: bool = False
     is_test: bool = False
+    # control-flow graph; only built for files in the envelope-contract
+    # scope (see :func:`wants_cfg`) to keep cache entries small
+    cfg: CFG | None = None
 
     @property
     def is_public(self) -> bool:
@@ -138,6 +143,9 @@ class ModuleInfo:
     strings: list[str] = field(default_factory=list)  # every str constant
     # top-level NAME = "string constant" bindings
     constants: dict[str, str] = field(default_factory=dict)
+    # calls at module level (outside any function body) — the envelope
+    # rule needs them because module-level prints bypass every handler
+    toplevel_calls: list[CallSite] = field(default_factory=list)
 
     # -- serialization (for the incremental cache) ---------------------
 
@@ -155,23 +163,11 @@ class ModuleInfo:
                 lineno=fn["lineno"],
                 col=fn["col"],
                 params=[Param(**p) for p in fn.get("params", [])],
-                calls=[
-                    CallSite(
-                        callee=c["callee"],
-                        lineno=c["lineno"],
-                        col=c["col"],
-                        args=tuple(ArgSummary(**a) for a in c.get("args", [])),
-                        keywords=tuple(
-                            (k, ArgSummary(**a)) for k, a in c.get("keywords", [])
-                        ),
-                        has_star_args=c.get("has_star_args", False),
-                        has_star_kwargs=c.get("has_star_kwargs", False),
-                    )
-                    for c in fn.get("calls", [])
-                ],
+                calls=[_call_site_from_json(c) for c in fn.get("calls", [])],
                 seed_shadows=[tuple(s) for s in fn.get("seed_shadows", [])],
                 samples_directly=fn.get("samples_directly", False),
                 is_test=fn.get("is_test", False),
+                cfg=CFG.from_json(fn["cfg"]) if fn.get("cfg") else None,
             )
         return cls(
             module=data["module"],
@@ -181,12 +177,36 @@ class ModuleInfo:
             exports=list(data.get("exports", [])),
             strings=list(data.get("strings", [])),
             constants=dict(data.get("constants", {})),
+            toplevel_calls=[
+                _call_site_from_json(c)
+                for c in data.get("toplevel_calls", [])
+            ],
         )
+
+
+def _call_site_from_json(c: dict[str, Any]) -> CallSite:
+    return CallSite(
+        callee=c["callee"],
+        lineno=c["lineno"],
+        col=c["col"],
+        args=tuple(ArgSummary(**a) for a in c.get("args", [])),
+        keywords=tuple(
+            (k, ArgSummary(**a)) for k, a in c.get("keywords", [])
+        ),
+        has_star_args=c.get("has_star_args", False),
+        has_star_kwargs=c.get("has_star_kwargs", False),
+    )
 
 
 # ----------------------------------------------------------------------
 # building a ModuleInfo from an AST
 # ----------------------------------------------------------------------
+
+
+def wants_cfg(path: Path) -> bool:
+    """Files whose functions get CFGs: the CLI front-end and the
+    service tier — the envelope-contract scope of R11."""
+    return path.name == "cli.py" or "service" in path.parts
 
 
 def module_name_for(path: Path) -> str:
@@ -241,6 +261,29 @@ def _expr_is_constant_only(node: ast.expr) -> bool:
     )
 
 
+def _summarize_call(node: ast.Call) -> CallSite | None:
+    name = call_name(node)
+    if name is None:
+        return None
+    return CallSite(
+        callee=name,
+        lineno=node.lineno,
+        col=node.col_offset,
+        args=tuple(
+            _summarize_arg(a)
+            for a in node.args
+            if not isinstance(a, ast.Starred)
+        ),
+        keywords=tuple(
+            (kw.arg, _summarize_arg(kw.value))
+            for kw in node.keywords
+            if kw.arg is not None
+        ),
+        has_star_args=any(isinstance(a, ast.Starred) for a in node.args),
+        has_star_kwargs=any(kw.arg is None for kw in node.keywords),
+    )
+
+
 class _FunctionScanner(ast.NodeVisitor):
     """Collect call sites, sampling sinks and seed shadows of one body."""
 
@@ -253,34 +296,11 @@ class _FunctionScanner(ast.NodeVisitor):
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
 
     def visit_Call(self, node: ast.Call) -> None:
-        name = call_name(node)
-        if name is not None:
-            tail = name.split(".")[-1]
-            if tail in _SAMPLING_TAILS:
+        site = _summarize_call(node)
+        if site is not None:
+            if site.callee.split(".")[-1] in _SAMPLING_TAILS:
                 self.info.samples_directly = True
-            self.info.calls.append(
-                CallSite(
-                    callee=name,
-                    lineno=node.lineno,
-                    col=node.col_offset,
-                    args=tuple(
-                        _summarize_arg(a)
-                        for a in node.args
-                        if not isinstance(a, ast.Starred)
-                    ),
-                    keywords=tuple(
-                        (kw.arg, _summarize_arg(kw.value))
-                        for kw in node.keywords
-                        if kw.arg is not None
-                    ),
-                    has_star_args=any(
-                        isinstance(a, ast.Starred) for a in node.args
-                    ),
-                    has_star_kwargs=any(
-                        kw.arg is None for kw in node.keywords
-                    ),
-                )
-            )
+            self.info.calls.append(site)
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -297,7 +317,9 @@ class _FunctionScanner(ast.NodeVisitor):
 
 
 def _function_info(
-    node: ast.FunctionDef | ast.AsyncFunctionDef, qualprefix: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualprefix: str,
+    with_cfg: bool = False,
 ) -> FunctionInfo:
     qualname = f"{qualprefix}{node.name}"
     args = node.args
@@ -315,6 +337,7 @@ def _function_info(
         col=node.col_offset,
         params=params,
         is_test=node.name.startswith("test_"),
+        cfg=build_cfg(node) if with_cfg else None,
     )
     scanner = _FunctionScanner(info)
     for stmt in node.body:
@@ -323,18 +346,19 @@ def _function_info(
 
 
 def _walk_definitions(
-    body: list[ast.stmt], qualprefix: str
+    body: list[ast.stmt], qualprefix: str, with_cfg: bool = False
 ) -> Iterator[FunctionInfo]:
     for stmt in body:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            info = _function_info(stmt, qualprefix)
+            info = _function_info(stmt, qualprefix, with_cfg)
             yield info
             yield from _walk_definitions(
-                stmt.body, qualprefix=f"{info.qualname}."
+                stmt.body, qualprefix=f"{info.qualname}.", with_cfg=with_cfg
             )
         elif isinstance(stmt, ast.ClassDef):
             yield from _walk_definitions(
-                stmt.body, qualprefix=f"{qualprefix}{stmt.name}."
+                stmt.body, qualprefix=f"{qualprefix}{stmt.name}.",
+                with_cfg=with_cfg,
             )
 
 
@@ -381,9 +405,26 @@ def build_module_info(path: Path, tree: ast.Module) -> ModuleInfo:
                 and isinstance(stmt.value.value, str)
             ):
                 info.constants[names[0]] = stmt.value.value
-    for fn in _walk_definitions(tree.body, qualprefix=""):
+    for fn in _walk_definitions(tree.body, qualprefix="", with_cfg=wants_cfg(path)):
         info.functions[fn.qualname] = fn
+    info.toplevel_calls = _toplevel_calls(tree)
     return info
+
+
+def _toplevel_calls(tree: ast.Module) -> list[CallSite]:
+    """Calls that run at import time (outside every function body)."""
+    out: list[CallSite] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(tree))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            site = _summarize_call(node)
+            if site is not None:
+                out.append(site)
+        stack.extend(ast.iter_child_nodes(node))
+    return sorted(out, key=lambda c: (c.lineno, c.col))
 
 
 # ----------------------------------------------------------------------

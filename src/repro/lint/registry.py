@@ -2,11 +2,11 @@
 
 Two kinds of rule share one registry:
 
-- **per-file rules** (R1-R5) expose ``check(ctx)`` over a parsed
-  :class:`~repro.lint.engine.FileContext`;
-- **project rules** (R6-R8) expose ``check_project(model)`` over the
-  whole-program :class:`~repro.lint.project.ProjectModel` built from
-  every linted file.
+- **per-file rules** (R1-R5, R9, R10, R12) expose ``check(ctx)`` over a
+  parsed :class:`~repro.lint.engine.FileContext`;
+- **project rules** (R6-R8, R11) expose ``check_project(model)`` over
+  the whole-program :class:`~repro.lint.project.ProjectModel` built
+  from every linted file.
 
 Either way a rule is a class with ``code`` (``"R1"``..), ``name``
 (pragma-friendly slug) and ``description``; registration happens at

@@ -10,10 +10,14 @@ from __future__ import annotations
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     api_hygiene,
     determinism,
+    envelope_conformance,
     float_compare,
+    lock_discipline,
     registry_conformance,
+    resource_lifecycle,
     seed_flow,
     test_discipline,
+    thread_hygiene,
     unit_propagation,
     unit_safety,
 )
@@ -21,10 +25,14 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
 __all__ = [
     "api_hygiene",
     "determinism",
+    "envelope_conformance",
     "float_compare",
+    "lock_discipline",
     "registry_conformance",
+    "resource_lifecycle",
     "seed_flow",
     "test_discipline",
+    "thread_hygiene",
     "unit_propagation",
     "unit_safety",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "SCHEMA",
     "dumps",
     "emit",
+    "emit_raw",
     "envelope",
     "error_envelope",
     "from_jsonable",
@@ -148,6 +149,21 @@ def emit(env: dict[str, Any], stream: TextIO | None = None) -> int:
     out.write("\n")
     out.flush()
     return int(env["exit_code"])
+
+
+def emit_raw(document: str, stream: TextIO | None = None) -> None:
+    """Print a pre-rendered JSON document to stdout, unwrapped.
+
+    The escape hatch for the documented envelope exemptions (the SARIF
+    report): still one JSON document on stdout, just not an envelope.
+    Going through here keeps ``emit``/``emit_raw`` the only two stdout
+    writers, which is what R11 statically enforces.
+    """
+    out = stream if stream is not None else sys.stdout
+    out.write(document)
+    if not document.endswith("\n"):
+        out.write("\n")
+    out.flush()
 
 
 def hlog(message: str, stream: TextIO | None = None) -> None:

@@ -219,26 +219,41 @@ class JobQueue:
         return job
 
     def status(self, job_id: str) -> dict[str, Any]:
-        """JSON-ready status snapshot of one job (KeyError if unknown)."""
-        return self._job(job_id).to_status_dict()
+        """JSON-ready status snapshot of one job (KeyError if unknown).
+
+        The snapshot is taken under the job-table lock: a worker flips
+        ``state``/``finished_at``/``result_doc`` together under the same
+        lock, so the dict can never mix fields from two states.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.to_status_dict()
+        raise KeyError(f"unknown job {job_id!r}")
 
     def result(self, job_id: str) -> dict[str, Any]:
         """The archived result document of a finished job.
 
         Raises :class:`KeyError` for unknown jobs and
         :class:`LookupError` for jobs that have no result (yet)."""
-        job = self._job(job_id)
-        if job.result_doc is None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                result_doc, state = job.result_doc, job.state
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if result_doc is None:
             raise LookupError(
-                f"job {job_id} is {job.state}; no result available"
+                f"job {job_id} is {state}; no result available"
             )
-        return job.result_doc
+        return result_doc
 
     def jobs(self) -> list[dict[str, Any]]:
-        """Status snapshots of every job, oldest first."""
+        """Status snapshots of every job, oldest first (each snapshot
+        taken under the lock, see :meth:`status`)."""
         with self._lock:
             records = sorted(self._jobs.values(), key=lambda j: j.job_id)
-        return [job.to_status_dict() for job in records]
+            return [job.to_status_dict() for job in records]
 
     def wait(self, job_id: str, timeout: float | None = None) -> bool:
         """Block until the job is terminal; True if it finished in time."""

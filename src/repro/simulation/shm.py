@@ -192,15 +192,21 @@ class AttachedScenario:
     def __init__(self, layout: ScenarioLayout):
         self.layout = layout
         self._shm = _attach_segment(layout.shm_name)
-        self._arrays = {
-            name: np.ndarray(
-                spec.shape,
-                dtype=np.dtype(spec.dtype),
-                buffer=self._shm.buf,
-                offset=spec.offset,
-            )
-            for name, spec in layout.specs.items()
-        }
+        try:
+            self._arrays = {
+                name: np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=self._shm.buf,
+                    offset=spec.offset,
+                )
+                for name, spec in layout.specs.items()
+            }
+        except Exception:
+            # a corrupt layout (bad dtype/shape/offset) must not leak
+            # the attachment: close before propagating
+            self._shm.close()
+            raise
 
     def __enter__(self) -> "AttachedScenario":
         return self

@@ -1,0 +1,13 @@
+"""R10 failing fixture: executor owned forever, no shutdown path."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self, workers: int):
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+
+    def submit(self, fn):
+        return self._pool.submit(fn)

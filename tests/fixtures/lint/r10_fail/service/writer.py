@@ -1,0 +1,9 @@
+"""R10 failing fixture: torn service write, no temp-then-replace."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def save(path: Path, text: str) -> None:
+    path.write_text(text, encoding="utf-8")

@@ -1,0 +1,11 @@
+"""R10 failing fixture: SharedMemory leaked on the failure path."""
+
+from __future__ import annotations
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload: bytes) -> str:
+    shm = SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload  # a raise here leaks the segment
+    return shm.name

@@ -1,0 +1,16 @@
+"""R10 passing fixture: the owned executor has a shutdown path."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self, workers: int):
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+
+    def submit(self, fn):
+        return self._pool.submit(fn)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)

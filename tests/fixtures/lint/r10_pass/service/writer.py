@@ -1,0 +1,12 @@
+"""R10 passing fixture: the temp-then-os.replace idiom."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def save(path: Path, text: str) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)

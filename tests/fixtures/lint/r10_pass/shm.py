@@ -1,0 +1,20 @@
+"""R10 passing fixture: segment released on every path."""
+
+from __future__ import annotations
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload: bytes) -> str:
+    shm = SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm.name
+
+
+def attach(name: str) -> SharedMemory:
+    return SharedMemory(name=name)  # ownership transfers to the caller

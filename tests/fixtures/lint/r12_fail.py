@@ -1,0 +1,28 @@
+"""R12 failing fixture: implicit daemon, swallowed errors, blind waits."""
+
+from __future__ import annotations
+
+import threading
+
+
+def spawn(target):
+    worker = threading.Thread(target=target)  # daemonness left implicit
+    worker.start()
+    return worker
+
+
+def drain(jobs):
+    failures = 0
+    while jobs:
+        job = jobs.pop()
+        try:
+            job()
+        except Exception:
+            failures += 1  # the error itself is discarded
+            continue
+    return failures
+
+
+def shutdown(worker, done):
+    worker.join()  # a stuck worker blocks shutdown forever
+    done.wait()

@@ -1,0 +1,26 @@
+"""R12 passing fixture: explicit daemonness, reported errors, bounded waits."""
+
+from __future__ import annotations
+
+import threading
+
+
+def spawn(target):
+    worker = threading.Thread(target=target, daemon=False)
+    worker.start()
+    return worker
+
+
+def drain(jobs, errors):
+    while jobs:
+        job = jobs.pop()
+        try:
+            job()
+        except Exception as exc:
+            errors.append(f"{type(exc).__name__}: {exc}")
+            continue
+
+
+def shutdown(worker, done):
+    worker.join(timeout=30.0)
+    done.wait(timeout=30.0)

@@ -1,0 +1,29 @@
+"""R9 failing fixture: guarded attributes touched outside the lock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}  # reprolint: guarded-by=_lock
+        self.total = 0
+
+    def add(self, key, value):
+        with self._lock:
+            self.items[key] = value
+            self.total += value
+
+    def bump(self, value):
+        with self._lock:
+            self.total += value
+
+    def snapshot(self):
+        # declared guarded, read without the lock
+        return dict(self.items)
+
+    def peek(self):
+        # majority-locked elsewhere, so inferred guarded; this read races
+        return self.total

@@ -1,0 +1,29 @@
+"""R9 passing fixture: every guarded access locked or single-threaded."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}  # reprolint: guarded-by=_lock
+        self.total = 0
+
+    def add(self, key, value):
+        with self._lock:
+            self.items[key] = value
+            self.total += value
+
+    def bump(self, value):
+        with self._lock:
+            self.total += value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.items)
+
+    def reset(self):  # reprolint: single-threaded
+        self.items = {}
+        self.total = 0

@@ -1,0 +1,33 @@
+"""R11 failing fixture: stray stdout, broken handler paths, bad codes."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.service.envelope import emit, envelope
+
+
+def cmd_double(args) -> int:
+    emit(envelope("double", {}))  # first envelope
+    return emit(envelope("double", {}))  # second on the same path
+
+
+def cmd_maybe(args) -> int:
+    if args:
+        return emit(envelope("maybe", {}))
+    return 0  # this path emits nothing
+
+
+def cmd_codes(args) -> int:
+    return 3  # outside the documented {0, 1, 2} set (and never emits)
+
+
+def helper() -> None:
+    print("progress")  # stdout is reserved for the envelope
+    sys.stdout.write("raw\n")
+
+
+def cmd_exit(args) -> int:
+    if not args:
+        sys.exit(5)
+    return emit(envelope("exit", {}))

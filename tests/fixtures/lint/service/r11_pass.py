@@ -1,0 +1,32 @@
+"""R11 passing fixture: one envelope per path, humans on stderr."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.service.envelope import emit, envelope, error_envelope, hlog
+
+
+def cmd_ok(args) -> int:
+    try:
+        hlog("starting")
+        return emit(envelope("ok", {"n": 1}))
+    except ValueError as exc:
+        return emit(error_envelope("ok", type(exc).__name__, str(exc)))
+
+
+def cmd_branch(args) -> int:
+    if args:
+        return emit(envelope("branch", {"fast": True}))
+    return emit(envelope("branch", {"fast": False}))
+
+
+def cmd_abort(args) -> int:
+    if not args:
+        sys.exit(2)
+    return emit(envelope("abort", {}))
+
+
+def helper(verbose: bool) -> None:
+    if verbose:
+        print("detail", file=sys.stderr)

@@ -76,6 +76,23 @@ class TestDPTableCache:
         s = cache.stats()
         assert s.lookups == 2 and s.hit_rate == pytest.approx(0.5)
 
+    def test_len_takes_the_table_lock(self, monkeypatch):
+        """len() reads the table under the same lock writers hold, so a
+        concurrent eviction can never be observed mid-mutation."""
+        cache = DPTableCache()
+        cache.get_or_compute(1, lambda: "a")
+        observed = []
+        original = dict.__len__
+
+        class Spy(dict):
+            def __len__(self):
+                observed.append(cache._lock.locked())
+                return original(self)
+
+        cache._data = Spy(cache._data)
+        assert len(cache) == 1
+        assert observed == [True]
+
 
 class TestCachedDPMakespan:
     def test_second_call_hits(self):

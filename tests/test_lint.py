@@ -1,6 +1,6 @@
 """reprolint: rule fixtures, pragmas, engine mechanics, cache, CLI.
 
-Each rule R1-R8 is demonstrated by a failing and a passing fixture under
+Each rule R1-R12 is demonstrated by a failing and a passing fixture under
 ``tests/fixtures/lint/`` (never collected by pytest, never swept up by
 directory-walk linting).  The property-style pair test asserts each
 failing fixture triggers *exactly* its own rule — no cross-rule bleed —
@@ -26,7 +26,10 @@ from repro.lint.registry import is_project_rule
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "fixtures" / "lint"
 
-ALL_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+ALL_CODES = [
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+    "R9", "R10", "R11", "R12",
+]
 
 # code -> (failing fixture, passing fixture); directories exercise the
 # whole-program rules over multi-file mini-projects.
@@ -39,6 +42,10 @@ FIXTURE_PAIRS = {
     "R6": ("simulation/r6_fail.py", "simulation/r6_pass.py"),
     "R7": ("r7_fail.py", "r7_pass.py"),
     "R8": ("r8_fail", "r8_pass"),
+    "R9": ("r9_fail.py", "r9_pass.py"),
+    "R10": ("r10_fail", "r10_pass"),
+    "R11": ("service/r11_fail.py", "service/r11_pass.py"),
+    "R12": ("r12_fail.py", "r12_pass.py"),
 }
 
 
@@ -203,6 +210,85 @@ def test_r8_inactive_without_a_policies_module(tmp_path):
     assert lint_paths([f], select=["R8"]) == []
 
 
+def test_r9_flags_declared_and_inferred_guards():
+    diags = lint_file(FIXTURES / "r9_fail.py", [get_rule("R9")])
+    messages = [d.message for d in diags]
+    assert len(diags) == 2
+    assert any("is declared guarded-by '_lock'" in m for m in messages)
+    assert any("inferred guarded-by '_lock'" in m for m in messages)
+    assert all("outside a 'with self._lock:' region" in m for m in messages)
+
+
+def test_r9_rejects_annotation_naming_unknown_lock(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "from __future__ import annotations\n"
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.items = []  # reprolint: guarded-by=_mutex\n"
+    )
+    diags = lint_file(f, [get_rule("R9")])
+    assert len(diags) == 1
+    assert "creates no such lock attribute" in diags[0].message
+    assert "_mutex" in diags[0].message
+
+
+def test_r9_single_threaded_marker_exempts_method(tmp_path):
+    src = (FIXTURES / "r9_pass.py").read_text()
+    assert "# reprolint: single-threaded" in src
+    stripped = tmp_path / "mod.py"
+    stripped.write_text(src.replace("  # reprolint: single-threaded", ""))
+    diags = lint_file(stripped, [get_rule("R9")])
+    assert diags != []  # without the marker the unlocked reset is flagged
+
+
+def test_r10_names_each_lifecycle_hazard():
+    diags = lint_paths([FIXTURES / "r10_fail"], select=["R10"])
+    messages = " ".join(d.message for d in diags)
+    assert "the segment leaks when the block raises" in messages or (
+        "not a try block releasing it" in messages
+    )
+    assert "temp-then-os.replace idiom" in messages
+    assert "no method ever shuts them down" in messages
+    assert len(diags) == 3
+
+
+def test_r10_ownership_transfer_is_not_a_leak(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "from __future__ import annotations\n"
+        "from multiprocessing import shared_memory\n"
+        "def make(size):\n"
+        "    return shared_memory.SharedMemory(create=True, size=size)\n"
+    )
+    assert lint_file(f, [get_rule("R10")]) == []
+
+
+def test_r11_flags_every_contract_breach():
+    diags = lint_paths([FIXTURES / "service" / "r11_fail.py"])
+    messages = " ".join(d.message for d in diags)
+    assert "emits more than one envelope" in messages
+    assert "a return path that emits no envelope" in messages
+    assert "never emits an envelope" in messages
+    assert "returns exit code 3" in messages
+    assert "'print(...)' writes stdout" in messages
+    assert "bypasses the envelope" in messages
+    assert "'sys.exit(5)'" in messages
+    assert len(diags) == 7
+
+
+def test_r12_flags_each_thread_hazard():
+    diags = lint_file(FIXTURES / "r12_fail.py", [get_rule("R12")])
+    messages = [d.message for d in diags]
+    assert any("explicit daemon= flag" in m for m in messages)
+    assert any("the failure is swallowed" in m for m in messages)
+    joinless = [m for m in messages if "shutdown path 'shutdown'" in m]
+    assert len(joinless) == 2  # join() and wait(), both timeout-free
+    assert len(diags) == 4
+
+
 # ----------------------------------------------------------------------
 # pragmas
 # ----------------------------------------------------------------------
@@ -296,17 +382,20 @@ def test_pragma_on_decorator_line_covers_the_def(tmp_path):
 # ----------------------------------------------------------------------
 
 
-def test_registry_exposes_eight_rules():
+def test_registry_exposes_twelve_rules():
     assert [r.code for r in all_rules()] == ALL_CODES
     assert get_rule("unit-safety").code == "R2"
     assert get_rule("seed-flow").code == "R6"
+    assert get_rule("lock-discipline").code == "R9"
+    assert get_rule("envelope-conformance").code == "R11"
     with pytest.raises(KeyError):
         get_rule("R99")
 
 
 def test_project_rules_are_discriminated_from_file_rules():
-    assert not is_project_rule(get_rule("R2"))
-    for code in ("R6", "R7", "R8"):
+    for code in ("R2", "R9", "R10", "R12"):
+        assert not is_project_rule(get_rule(code))
+    for code in ("R6", "R7", "R8", "R11"):
         assert is_project_rule(get_rule(code))
 
 
@@ -376,16 +465,38 @@ def test_warm_cache_relints_with_zero_reparses(tmp_path):
     ]
 
 
-def test_cache_entries_survive_select_changes(tmp_path):
-    """--select must not invalidate entries: diagnostics are stored for
-    all rules and filtered at read time."""
+def test_select_change_rekeys_cache(tmp_path):
+    """The cache key includes the active rule selection: only the rules
+    that actually ran are cached, so changing --select re-analyzes once
+    and is warm thereafter under the new key."""
     cache_dir = tmp_path / "cache"
-    run_lint([FIXTURES / "r2_fail.py"], cache=LintCache(cache_dir))
+    full = run_lint([FIXTURES / "r2_fail.py"], cache=LintCache(cache_dir))
+    assert full.parsed == 1
+    narrowed = run_lint(
+        [FIXTURES / "r2_fail.py"], select=["R2"], cache=LintCache(cache_dir)
+    )
+    assert narrowed.parsed == 1  # new selection -> new key -> re-analyzed
+    assert codes(narrowed.diagnostics) == {"R2"}
     warm = run_lint(
         [FIXTURES / "r2_fail.py"], select=["R2"], cache=LintCache(cache_dir)
     )
-    assert warm.parsed == 0
+    assert warm.parsed == 0 and warm.cached == 1
     assert codes(warm.diagnostics) == {"R2"}
+
+
+def test_rule_source_change_invalidates_cache(tmp_path, monkeypatch):
+    """The signature hashes each selected rule's module source, so
+    editing a rule invalidates entries even for unchanged files."""
+    import repro.lint.cache as cache_mod
+
+    cache_dir = tmp_path / "cache"
+    first = run_lint([FIXTURES / "r2_fail.py"], cache=LintCache(cache_dir))
+    assert first.parsed == 1
+    monkeypatch.setattr(
+        cache_mod, "_rule_source", lambda rule: f"edited {rule.code}"
+    )
+    second = run_lint([FIXTURES / "r2_fail.py"], cache=LintCache(cache_dir))
+    assert second.parsed == 1  # rule sources "changed" -> cold again
 
 
 def test_cache_invalidates_on_content_change(tmp_path):
@@ -514,6 +625,50 @@ def test_fix_parenthesizes_when_precedence_demands(tmp_path):
     compile(text, str(target), "exec")
 
 
+def test_fix_redirects_print_to_hlog(tmp_path):
+    """R11's mechanical fix: bare one-argument print() becomes hlog()
+    with the import added; the rewritten module re-lints clean."""
+    from repro.lint.fixes import apply_fixes
+
+    service = tmp_path / "service"
+    service.mkdir()
+    target = service / "mod.py"
+    target.write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        'print("starting up")\n'
+    )
+    report = run_lint([target], select=["R11"])
+    assert codes(report.diagnostics) == {"R11"}
+    assert report.diagnostics[0].fix is not None
+    apply_fixes(report.diagnostics)
+    text = target.read_text()
+    assert 'hlog("starting up")' in text
+    assert "from repro.service.envelope import hlog" in text
+    compile(text, str(target), "exec")
+    assert run_lint([target], select=["R11"]).diagnostics == []
+
+
+def test_fix_adds_explicit_daemon_flag(tmp_path):
+    from repro.lint.fixes import apply_fixes
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "from __future__ import annotations\n"
+        "import threading\n"
+        "\n"
+        "def spawn(fn):\n"
+        "    return threading.Thread(target=fn)\n"
+    )
+    diags = lint_file(target, [get_rule("R12")])
+    assert len(diags) == 1 and diags[0].fix is not None
+    apply_fixes(diags)
+    text = target.read_text()
+    assert "threading.Thread(target=fn, daemon=False)" in text
+    compile(text, str(target), "exec")
+    assert lint_file(target, [get_rule("R12")]) == []
+
+
 # ----------------------------------------------------------------------
 # CLI + clean tree
 # ----------------------------------------------------------------------
@@ -566,7 +721,40 @@ def test_repro_lint_src_is_clean():
 
 
 def test_repro_lint_src_and_tests_clean_with_all_rules():
-    """The full-tree gate with R1-R8 enabled — including the
-    whole-program seed-flow, unit-propagation and registry checks."""
+    """The full-tree gate with R1-R12 enabled — including the
+    whole-program seed-flow, unit-propagation, registry and
+    envelope-conformance checks."""
     diags = lint_paths([REPO / "src", REPO / "tests"])
     assert diags == [], [d.render() for d in diags]
+
+
+def test_cli_concurrency_rules_clean_on_real_tree(capsys, tmp_path,
+                                                  monkeypatch):
+    """The new rule families pass over the swept tree via the CLI."""
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--select", "R9,R10,R11,R12",
+                 str(REPO / "src")]) == 0
+    env = json.loads(capsys.readouterr().out)
+    assert env["data"]["diagnostics"] == []
+
+
+def test_every_cli_handler_emits_exactly_one_envelope():
+    """R11's meta-property over the real CLI: every cmd_* subcommand
+    handler has CFG emission bounds of exactly (1, 1) — one envelope on
+    every return path, including exception edges."""
+    from repro.lint.engine import _process_file
+    from repro.lint.project import ModuleInfo, ProjectModel
+    from repro.lint.rules.envelope_conformance import handler_emission_bounds
+
+    files = [REPO / "src" / "repro" / "cli.py"] + sorted(
+        (REPO / "src" / "repro" / "service").glob("*.py")
+    )
+    results = [_process_file(f, None) for f in files]
+    model = ProjectModel(
+        [ModuleInfo.from_json(r.module) for r in results if r.module]
+    )
+    bounds = handler_emission_bounds(model)
+    handlers = {f for f in bounds if f.startswith("repro.cli.cmd_")}
+    assert len(handlers) >= 10  # every subcommand rides through here
+    for fqid, b in sorted(bounds.items()):
+        assert b == (1, 1), f"{fqid}: emission bounds {b}"

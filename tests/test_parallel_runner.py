@@ -358,3 +358,35 @@ class TestSharedMemory:
                 [], None, n_units=1, downtime=0.0, horizon=1.0,
                 recovery=0.0, t0=0.0,
             )
+
+    def test_attach_closes_segment_on_corrupt_layout(self, monkeypatch):
+        """A layout the segment cannot satisfy (bad dtype/offset) must
+        not leak the attachment: __init__ closes before propagating."""
+        from repro.simulation import shm as shm_mod
+
+        class FakeSegment:
+            buf = memoryview(bytearray(8))
+            closed = False
+
+            def close(self):
+                FakeSegment.closed = True
+
+        monkeypatch.setattr(
+            shm_mod, "_attach_segment", lambda name: FakeSegment()
+        )
+        bad_spec = shm_mod._ArraySpec(
+            offset=0, shape=(1000,), dtype="float64"  # 8000 B > 8 B buffer
+        )
+        layout = shm_mod.ScenarioLayout(
+            shm_name="bogus",
+            specs={"times": bad_spec},
+            n_units=1,
+            downtime=0.0,
+            horizon=1.0,
+            recovery=0.0,
+            t0=0.0,
+            has_ensemble=False,
+        )
+        with pytest.raises(Exception):
+            shm_mod.attach_scenario(layout)
+        assert FakeSegment.closed

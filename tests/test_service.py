@@ -295,6 +295,30 @@ class TestJobQueue:
         with pytest.raises(ValueError):
             ExecutionOptions.from_dict({"threads": 4})
 
+    def test_status_snapshots_are_taken_under_lock(self, store, monkeypatch):
+        """status()/jobs() must serialize against worker-side state
+        flips: the snapshot dict is built with the job-table lock held,
+        so it can never mix fields from two states."""
+        from repro.service.queue import JobRecord
+
+        q = JobQueue(store=store, workers=1)
+        try:
+            job = q.submit(ScenarioSpec(**TINY))
+            assert q.wait(job.job_id, timeout=120)
+            lock_held: list[bool] = []
+            original = JobRecord.to_status_dict
+
+            def observed(self):
+                lock_held.append(q._lock.locked())
+                return original(self)
+
+            monkeypatch.setattr(JobRecord, "to_status_dict", observed)
+            q.status(job.job_id)
+            q.jobs()
+            assert lock_held and all(lock_held)
+        finally:
+            q.shutdown()
+
 
 # ----------------------------------------------------------------------
 # daemon end-to-end (HTTP over an ephemeral port)
