@@ -5,12 +5,15 @@ export PYTHONPATH := src
 	service-smoke verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
-# runs the full R1-R8 rule set — per-file and whole-program — over
-# src/ and tests/ (the literal rules R2/R3 relax themselves inside test
-# files).  Re-runs are incremental via .reprolint-cache/.
-# ruff and mypy run only where installed — CI installs both.
+# runs the full R1-R15 rule set — per-file, whole-program and
+# interprocedural — over src/ and tests/ (the literal rules R2/R3 relax
+# themselves inside test files).  Re-runs are incremental via
+# .reprolint-cache/ (file level and call-graph level).  --baseline
+# applies the committed (currently empty) ratchet file and fails on
+# stale entries.  ruff and mypy run only where installed — CI installs
+# both.
 lint:
-	$(PYTHON) -m repro lint src tests
+	$(PYTHON) -m repro lint src tests --baseline
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \

@@ -4,18 +4,25 @@ Lints the full tree (``src/`` + ``tests/``) four ways:
 
 1. cold, serial, caching disabled (the lower bound for one-shot runs);
 2. cold, serial, writing ``.reprolint-cache/`` (cache-fill overhead);
-3. warm, incremental (the edit-relint loop: zero files re-parsed);
+3. warm, incremental (the edit-relint loop: zero files re-parsed and
+   the interprocedural layer replayed entirely from the project cache);
 4. cold, parallel (``REPRO_BENCH_JOBS`` workers, default one per CPU).
 
-Diagnostics are asserted identical across all four runs, and the warm
-run is asserted to re-parse nothing — the two guarantees the engine's
-cache and process pool are built on.  The measured numbers land in
-``benchmarks/results/lint_engine.txt`` and are quoted in
-``docs/development.md``.
+A fifth row isolates the interprocedural layer itself: building the
+resolved project call graph plus the three dataflow summaries
+(determinism taint, kernel reachability, exception leaks) over the
+already-parsed model — the marginal cost R13-R15 add to a cold run.
+
+Diagnostics are asserted identical across all full runs, and the warm
+run is asserted to re-parse nothing and re-analyze no module — the
+guarantees the engine's file and project caches are built on.  The
+measured numbers land in ``benchmarks/results/lint_engine.txt`` and
+are quoted in ``docs/development.md``.
 """
 
 from __future__ import annotations
 
+import ast
 import os
 import shutil
 import tempfile
@@ -24,11 +31,29 @@ from pathlib import Path
 
 from repro.lint import run_lint
 from repro.lint.cache import LintCache
+from repro.lint.engine import iter_python_files
+from repro.lint.interproc import InterAnalysis
+from repro.lint.project import ProjectModel, build_module_info
 
 from _util import report, run_once
 
 REPO = Path(__file__).resolve().parent.parent
 PATHS = [REPO / "src", REPO / "tests"]
+
+
+def _interprocedural_pass():
+    """Model + call graph + all three summaries, timed separately."""
+    modules = []
+    for path in iter_python_files(PATHS):
+        text = path.read_text(encoding="utf-8")
+        modules.append(
+            build_module_info(path, ast.parse(text), text.splitlines())
+        )
+    analysis = InterAnalysis(ProjectModel(modules))
+    analysis.taint_summary()
+    analysis.kernel_summary()
+    analysis.leak_summary()
+    return analysis
 
 
 def test_lint_engine_modes(benchmark):
@@ -56,6 +81,7 @@ def test_lint_engine_modes(benchmark):
                     f"cold parallel, jobs={jobs}",
                     lambda: run_lint(PATHS, jobs=jobs),
                 ),
+                timed("call graph + summaries", _interprocedural_pass),
             ]
         finally:
             shutil.rmtree(cache_dir, ignore_errors=True)
@@ -63,25 +89,38 @@ def test_lint_engine_modes(benchmark):
 
     rows = run_once(benchmark, run_all)
 
-    base = rows[0][2]
-    for _label, _t, rep in rows[1:]:
+    full_runs, graph_row = rows[:4], rows[4]
+    base = full_runs[0][2]
+    for _label, _t, rep in full_runs[1:]:
         assert [d.render() for d in rep.diagnostics] == [
             d.render() for d in base.diagnostics
         ], "lint results differ across engine modes"
-    warm = rows[2][2]
+    warm = full_runs[2][2]
     assert warm.parsed == 0, "warm cache run re-parsed files"
+    assert warm.project_reanalyzed == [], (
+        "warm cache run re-analyzed interprocedural modules"
+    )
+    n_functions = sum(
+        1 for _ in graph_row[2].model.functions()
+    )
 
     t_cold = rows[0][1]
     lines = [
         f"linted: src/ + tests/ = {base.files} files, "
         f"{len(base.diagnostics)} findings",
+        f"call graph: {n_functions} functions, "
+        f"{len(graph_row[2].graph.out)} callers resolved",
         f"host CPUs: {os.cpu_count()}",
         "",
         f"{'mode':<26} {'wall [s]':>9}  {'vs cold':>8}",
     ]
-    for label, t, rep in rows:
+    for label, t, rep in full_runs:
         lines.append(
             f"{label:<26} {t:>9.3f}  {t_cold / t:>7.1f}x"
             + (f"  (parsed {rep.parsed}/{rep.files})" if not rep.parsed else "")
         )
+    lines.append(
+        f"{graph_row[0]:<26} {graph_row[1]:>9.3f}  "
+        f"{'':>8}  (share of cold: {graph_row[1] / t_cold:.0%})"
+    )
     report("lint_engine", "\n".join(lines))

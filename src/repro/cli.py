@@ -50,6 +50,10 @@ from repro.units import DAY, HOUR, MINUTE, WEEK, YEAR
 
 __all__ = ["main", "parse_duration"]
 
+# mirrors repro.lint.baseline.DEFAULT_BASELINE (imported lazily there);
+# needed at parser-build time without importing the lint package
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
 _SUFFIXES = {
     "s": 1.0,
     "m": MINUTE,
@@ -276,13 +280,13 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
     clear_cache()
     clear_replan_memo()
     hlog(f"benchmark: cold run of {spec.signature()[:12]} ...")
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # reprolint: clock-ok=benchmark timing
     cold = spec.run(**execution)
-    cold_s = time.perf_counter() - t0
+    cold_s = time.perf_counter() - t0  # reprolint: clock-ok=benchmark timing
     hlog(f"benchmark: warm run ({cold_s:.2f}s cold) ...")
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # reprolint: clock-ok=benchmark timing
     warm = spec.run(**execution)
-    warm_s = time.perf_counter() - t0
+    warm_s = time.perf_counter() - t0  # reprolint: clock-ok=benchmark timing
     data = {
         "spec": spec.to_dict(),
         "signature": spec.signature(),
@@ -509,6 +513,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import all_rules, run_lint
+    from repro.lint.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
     from repro.lint.cache import LintCache
     from repro.lint.fixes import apply_fixes
     from repro.lint.formats import render_report, report_to_dict
@@ -541,13 +550,43 @@ def cmd_lint(args: argparse.Namespace) -> int:
             report = run_lint(paths, select=select, jobs=jobs)
     except (FileNotFoundError, KeyError) as exc:
         return emit(error_envelope("lint", type(exc).__name__, str(exc)))
+    if args.update_baseline:
+        write_baseline(args.update_baseline, report.diagnostics)
+        n = len([d for d in report.diagnostics if d.code != "E0"])
+        hlog(f"wrote {args.update_baseline} ({n} entr"
+             f"{'y' if n == 1 else 'ies'})")
+        return emit(envelope("lint", {
+            "baseline": args.update_baseline, "entries": n,
+        }))
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            return emit(error_envelope("lint", "BaselineError", str(exc)))
+        surviving, suppressed, stale = apply_baseline(
+            report.diagnostics, baseline
+        )
+        report.diagnostics = surviving
+        report.suppressed = suppressed
+        report.stale_baseline = stale
     if report.has_errors:
         exit_code, summary = 2, "\nparse errors encountered"
     elif report.diagnostics:
         n = len(report.diagnostics)
         exit_code, summary = 1, f"\n{n} finding{'s' if n != 1 else ''}"
+    elif report.stale_baseline:
+        n = len(report.stale_baseline)
+        exit_code = 1
+        summary = (f"\n{n} stale baseline entr{'y' if n == 1 else 'ies'} "
+                   "(run --update-baseline to prune)")
     else:
         exit_code, summary = 0, ""
+    for fp in report.stale_baseline:
+        hlog(f"stale baseline entry: {fp}")
+    if report.suppressed:
+        summary += (f"\n{report.suppressed} finding"
+                    f"{'s' if report.suppressed != 1 else ''} "
+                    "suppressed by baseline")
     if args.format == "sarif":
         # documented envelope exemption: stdout is the raw SARIF
         # document (a single valid JSON document) for CI archival
@@ -555,7 +594,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if summary:
             hlog(summary)
         return exit_code
-    text = render_report(report, "text")
+    text = render_report(report, "text", explain=args.explain)
     if text:
         hlog(text)
     if summary:
@@ -570,7 +609,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
         error=None if exit_code == 0 else {
             "type": "ParseErrors" if exit_code == 2 else "Findings",
             "message": f"{len(report.diagnostics)} finding(s)"
-                       + ("; parse errors" if report.has_errors else ""),
+                       + ("; parse errors" if report.has_errors else "")
+                       + (f"; {len(report.stale_baseline)} stale baseline "
+                          "entr" + ("y" if len(report.stale_baseline) == 1
+                                    else "ies")
+                          if report.stale_baseline else ""),
         },
     )
     return emit(env)
@@ -903,6 +946,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="cache location (default: $REPROLINT_CACHE_DIR "
                              "or ./.reprolint-cache)")
+    p_lint.add_argument("--explain", action="store_true",
+                        help="print the call chain behind each "
+                             "interprocedural finding (R13-R15)")
+    p_lint.add_argument("--baseline", nargs="?", metavar="FILE",
+                        const=DEFAULT_BASELINE, default=None,
+                        help="suppress findings recorded in the baseline "
+                             f"file (default {DEFAULT_BASELINE}); stale "
+                             "entries fail the run")
+    p_lint.add_argument("--update-baseline", nargs="?", metavar="FILE",
+                        const=DEFAULT_BASELINE, default=None,
+                        help="rewrite the baseline file from the current "
+                             "findings and exit 0")
     p_lint.set_defaults(func=cmd_lint)
 
     p_mtbf = sub.add_parser("mtbf", help="Figure-1 rejuvenation analytics")

@@ -1,0 +1,133 @@
+"""Lint baseline: adopt new rules without stopping the world.
+
+A baseline file records the findings a team has decided to live with
+for now, so ``repro lint --baseline`` fails only on *new* findings.
+Entries are **fingerprints**, not locations: ``path|code|name|message``
+with no line number, so reformatting or adding imports above a known
+finding does not resurrect it — but changing the offending code enough
+to alter the message does, which is the point.
+
+Counts make the suppression exact: a fingerprint occurring twice in the
+baseline absorbs at most two matching findings; a third is new and
+fails the run.  The reverse direction is enforced too: a baseline entry
+that no longer matches anything is **stale**, and ``--baseline`` fails
+the run until ``--update-baseline`` prunes it — a baseline only shrinks
+over time.
+
+``E0`` parse errors are never suppressible: a baseline that hides a
+file the linter cannot even read would hide everything in it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Line-independent identity of a finding."""
+    return f"{diag.path}|{diag.code}|{diag.name}|{diag.message}"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed count."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_diagnostics(cls, diags: list[Diagnostic]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for d in diags:
+            if d.code == "E0":
+                continue
+            key = fingerprint(d)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def to_json(self) -> dict:
+        """The on-disk document: sorted entries with counts."""
+        entries = []
+        for key in sorted(self.counts):
+            path, code, name, message = key.split("|", 3)
+            entries.append(
+                {
+                    "path": path,
+                    "code": code,
+                    "name": name,
+                    "message": message,
+                    "count": self.counts[key],
+                }
+            )
+        return {"version": _VERSION, "entries": entries}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Baseline":
+        counts: dict[str, int] = {}
+        for e in data.get("entries", []):
+            key = f"{e['path']}|{e['code']}|{e['name']}|{e['message']}"
+            counts[key] = counts.get(key, 0) + int(e.get("count", 1))
+        return cls(counts)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Baseline()
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {p}: {exc}") from exc
+    return Baseline.from_json(data)
+
+
+def write_baseline(path: str | Path, diags: list[Diagnostic]) -> Baseline:
+    """Snapshot the given findings as the new baseline file."""
+    baseline = Baseline.from_diagnostics(diags)
+    Path(path).write_text(
+        json.dumps(baseline.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return baseline
+
+
+def apply_baseline(
+    diags: list[Diagnostic], baseline: Baseline
+) -> tuple[list[Diagnostic], int, list[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(surviving, suppressed_count, stale_fingerprints)``:
+    each baseline entry absorbs up to its count of matching findings
+    (``E0`` never matches); entries with capacity left over are stale —
+    the code they excused no longer trips the rule, so the baseline
+    must be re-snapshotted with ``--update-baseline``.
+    """
+    remaining = dict(baseline.counts)
+    surviving: list[Diagnostic] = []
+    suppressed = 0
+    for d in diags:
+        key = fingerprint(d)
+        if d.code != "E0" and remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            surviving.append(d)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return surviving, suppressed, stale

@@ -14,7 +14,12 @@ rule-set signature:
   use it — no stale diagnostics from an old implementation;
 - the file's :class:`~repro.lint.project.ModuleInfo` summary and its
   pragma map are stored alongside, so the whole-program pass (R6-R8,
-  R11) can rebuild its model with **zero re-parses** on a warm cache.
+  R11) can rebuild its model with **zero re-parses** on a warm cache;
+- the interprocedural pass (R13-R15) keeps one extra record per rule
+  signature (``project-<sig>.json``) holding each module's diagnostics
+  keyed on the content digests of every module its call-graph analysis
+  depended on — so editing a leaf callee re-lints exactly that module
+  and its transitive callers, nothing else.
 
 The cache directory is safe to delete at any time.
 """
@@ -29,12 +34,12 @@ import sys
 from pathlib import Path
 from typing import Any, Iterable
 
-from repro.lint.diagnostics import Diagnostic
+from repro.lint.diagnostics import Diagnostic, TraceStep
 
 __all__ = ["LintCache", "default_cache_dir", "rules_signature"]
 
 # Bump when the engine's record layout or semantics change.
-_ENGINE_VERSION = 3
+_ENGINE_VERSION = 4
 
 _CACHE_DIR_NAME = ".reprolint-cache"
 
@@ -141,9 +146,46 @@ class LintCache:
         except OSError:
             pass  # caching is best-effort; linting still succeeds
 
+    # -- the interprocedural (project-pass) record ----------------------
+
+    def _project_path(self) -> Path:
+        return self.cache_dir / f"project-{self._signature}.json"
+
+    def load_project(self) -> dict[str, Any] | None:
+        """The stored interprocedural record for this rule signature.
+
+        Shape: ``{"modules": {module: {"digest": ..., "deps":
+        {module: digest}, "diags": [...]}}}`` — per-module diagnostics
+        of the call-graph rules, each keyed on the digests of every
+        module its analysis depended on (see
+        ``CallGraph.module_dependencies``)."""
+        if not self.enabled:
+            return None
+        try:
+            return json.loads(
+                self._project_path().read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+
+    def store_project(self, record: dict[str, Any]) -> None:
+        """Persist the interprocedural record (best-effort)."""
+        if not self.enabled:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            entry = self._project_path()
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(record, separators=(",", ":")), encoding="utf-8"
+            )
+            tmp.replace(entry)
+        except OSError:
+            pass
+
 
 def diagnostic_to_json(diag: Diagnostic) -> dict[str, Any]:
-    return {
+    out = {
         "path": diag.path,
         "line": diag.line,
         "col": diag.col,
@@ -151,6 +193,18 @@ def diagnostic_to_json(diag: Diagnostic) -> dict[str, Any]:
         "name": diag.name,
         "message": diag.message,
     }
+    if diag.trace:
+        out["trace"] = [
+            {
+                "path": s.path,
+                "line": s.line,
+                "col": s.col,
+                "function": s.function,
+                "note": s.note,
+            }
+            for s in diag.trace
+        ]
+    return out
 
 
 def diagnostic_from_json(data: dict[str, Any]) -> Diagnostic:
@@ -161,4 +215,5 @@ def diagnostic_from_json(data: dict[str, Any]) -> Diagnostic:
         code=data["code"],
         name=data["name"],
         message=data["message"],
+        trace=tuple(TraceStep(**s) for s in data.get("trace", [])),
     )

@@ -26,7 +26,9 @@ They are only attached for files in the envelope-contract scope (see
 
 The one analysis shipped here, :func:`emission_bounds`, computes the
 (min, max) number of predicate-matching events over all normal paths,
-with counts saturating at :data:`SATURATE` so loops converge.
+with counts saturating at :data:`SATURATE` so loops converge.  Its
+fixpoint loop lives in :func:`repro.lint.dataflow.forward_fixpoint`,
+shared with the interprocedural analyses.
 """
 
 from __future__ import annotations
@@ -34,6 +36,8 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from repro.lint.dataflow import forward_fixpoint
 
 __all__ = ["CFG", "BlockEvent", "SATURATE", "build_cfg", "emission_bounds"]
 
@@ -350,42 +354,27 @@ def emission_bounds(
         min(sum(1 for ev in block if matches(ev)), SATURATE)
         for block in cfg.blocks
     ]
-    preds: dict[int, list[int]] = {}
-    for src, dst in cfg.edges:
-        preds.setdefault(dst, []).append(src)
 
-    # forward dataflow to fixpoint: bounds-at-entry of each block
-    n = len(cfg.blocks)
-    inb: list[tuple[int, int] | None] = [None] * n
-    inb[cfg.entry] = (0, 0)
-    changed = True
-    while changed:
-        changed = False
-        for b in range(n):
-            merged = inb[b] if b != cfg.entry else (0, 0)
-            for p in preds.get(b, ()):
-                if inb[p] is None:
-                    continue
-                lo, hi = inb[p]
-                out = (min(lo + counts[p], SATURATE), min(hi + counts[p], SATURATE))
-                merged = (
-                    out
-                    if merged is None
-                    else (min(merged[0], out[0]), max(merged[1], out[1]))
-                )
-            if merged != inb[b]:
-                inb[b] = merged
-                changed = True
+    def transfer(block: int, bounds: tuple[int, int]) -> tuple[int, int]:
+        lo, hi = bounds
+        return (
+            min(lo + counts[block], SATURATE),
+            min(hi + counts[block], SATURATE),
+        )
+
+    def merge(
+        a: tuple[int, int], b: tuple[int, int]
+    ) -> tuple[int, int]:
+        return (min(a[0], b[0]), max(a[1], b[1]))
+
+    inb = forward_fixpoint(
+        len(cfg.blocks), cfg.edges, cfg.entry, (0, 0), transfer, merge
+    )
 
     result: tuple[int, int] | None = None
     for b in cfg.exits:
         if inb[b] is None:
             continue  # unreachable exit (code after return)
-        lo, hi = inb[b]
-        out = (min(lo + counts[b], SATURATE), min(hi + counts[b], SATURATE))
-        result = (
-            out
-            if result is None
-            else (min(result[0], out[0]), max(result[1], out[1]))
-        )
+        out = transfer(b, inb[b])
+        result = out if result is None else merge(result, out)
     return result

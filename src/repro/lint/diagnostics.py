@@ -35,14 +35,37 @@ class Fix:
     add_imports: tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of an interprocedural witness chain.
+
+    The flow rules (R13, R15) attach a chain of these to each finding:
+    the first step is the flagged function, each middle step the call
+    site taking the chain one function deeper, the last step the
+    origin (the ambient-state read, the escaping ``raise``).  Rendered
+    under ``--explain`` in text output and always as SARIF
+    ``codeFlows``.
+    """
+
+    path: str
+    line: int
+    col: int
+    function: str
+    note: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.function} — {self.note}"
+
+
 @dataclass(frozen=True, order=True)
 class Diagnostic:
     """One finding: where, which rule, and what to do about it.
 
     Ordering is (path, line, col, code) so reports read top-to-bottom
     per file.  ``fix`` (when present) is the mechanical remedy applied
-    by ``repro lint --fix``; it never participates in equality or
-    serialization.
+    by ``repro lint --fix``; ``trace`` (when present) is the witness
+    call chain of an interprocedural finding.  Neither participates in
+    equality.
     """
 
     path: str
@@ -52,6 +75,7 @@ class Diagnostic:
     name: str = field(compare=False)
     message: str = field(compare=False)
     fix: Fix | None = field(compare=False, default=None)
+    trace: tuple[TraceStep, ...] = field(compare=False, default=())
 
     def render(self) -> str:
         """``path:line:col: CODE[name] message`` — the CLI report line."""

@@ -8,8 +8,11 @@ Two passes over the linted tree:
    :class:`~repro.lint.project.ModuleInfo` summary, in the content-hash
    cache (:mod:`repro.lint.cache`);
 2. **whole-program** — the :class:`~repro.lint.project.ProjectModel` is
-   assembled from every file's summary (cached or fresh) and the
-   project rules (R6-R8, R11) run over it.
+   assembled from every file's summary (cached or fresh); the classic
+   project rules (R6-R8, R11) run over it, and the interprocedural
+   rules (R13-R15) dispatch per module through a second cache record
+   keyed on call-graph dependencies, so a changed leaf re-analyzes
+   exactly itself and its transitive callers.
 
 Because the cache stores summaries alongside diagnostics, a warm run
 over an unchanged tree re-parses **zero** files — including for the
@@ -41,6 +44,7 @@ from repro.lint.pragmas import (
 from repro.lint.registry import (
     LintRule,
     all_rules,
+    is_interprocedural,
     is_project_rule,
     resolve_selection,
 )
@@ -109,6 +113,7 @@ class FileResult:
     module: dict[str, Any] | None = None  # ModuleInfo JSON summary
     pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
     parsed: bool = False  # a fresh ast.parse happened for this file
+    digest: str | None = None  # content hash (keys the project pass)
 
 
 @dataclass
@@ -119,6 +124,13 @@ class LintReport:
     files: int = 0
     parsed: int = 0  # cache misses: files actually read and parsed
     cached: int = 0  # cache hits: files served entirely from the cache
+    # interprocedural pass (R13-R15): modules re-analyzed this run vs
+    # served from the call-graph-keyed project cache
+    project_reanalyzed: list[str] = field(default_factory=list)
+    project_cached: list[str] = field(default_factory=list)
+    # baseline accounting (filled by the CLI when --baseline is active)
+    suppressed: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def has_errors(self) -> bool:
@@ -195,9 +207,10 @@ def _process_file(
                     int(line): frozenset(keys)
                     for line, keys in record.get("pragmas", {}).items()
                 },
+                digest=digest,
             )
 
-    result = FileResult(path=path.as_posix(), parsed=True)
+    result = FileResult(path=path.as_posix(), parsed=True, digest=digest)
     try:
         source = raw.decode("utf-8")
     except UnicodeDecodeError as exc:
@@ -228,7 +241,7 @@ def _process_file(
             from repro.lint.project import build_module_info
 
             result.diagnostics = sorted(diags)
-            result.module = build_module_info(path, tree).to_json()
+            result.module = build_module_info(path, tree, lines).to_json()
             result.pragmas = pragmas
 
     if cache is not None:
@@ -340,14 +353,103 @@ def run_lint(
             [ModuleInfo.from_json(r.module) for r in results if r.module]
         )
         pragmas_by_path = {r.path: r.pragmas for r in results}
-        for rule in project_rules:
+        classic_rules = [r for r in project_rules if hasattr(r, "check_project")]
+        inter_rules = [r for r in project_rules if is_interprocedural(r)]
+        for rule in classic_rules:
             for d in rule.check_project(model):
                 file_pragmas = pragmas_by_path.get(d.path, {})
                 if not is_disabled(file_pragmas, d.line, d.code, d.name):
                     report.diagnostics.append(d)
+        if inter_rules:
+            _run_interprocedural(
+                model, inter_rules, results, pragmas_by_path, cache, report
+            )
 
     report.diagnostics.sort()
     return report
+
+
+def _run_interprocedural(
+    model: "Any",
+    inter_rules: Sequence[LintRule],
+    results: Sequence[FileResult],
+    pragmas_by_path: dict[str, dict[int, frozenset[str]]],
+    cache: LintCache | None,
+    report: LintReport,
+) -> None:
+    """Dispatch the call-graph rules (R13-R15) per module, through the
+    project-level cache.
+
+    A module's stored diagnostics are served warm when its own content
+    digest and the digest of **every module its analysis depended on**
+    (transitively reachable callees + package ``__init__`` re-exports)
+    are unchanged, and the module *set* is the same — adding or removing
+    a file can redirect name resolution anywhere, so it invalidates
+    everything.  Only invalid modules rebuild the
+    :class:`~repro.lint.interproc.InterAnalysis`; a fully-warm tree
+    skips the call graph entirely.
+    """
+    digest_by_path = {r.path: r.digest for r in results if r.digest}
+    digest_by_module = {
+        mod.module: digest_by_path[mod.path]
+        for mod in model.modules.values()
+        if mod.path in digest_by_path
+    }
+    module_set = sorted(model.modules)
+
+    stored = cache.load_project() if cache is not None else None
+    stored_modules = (stored or {}).get("modules", {})
+    same_set = (stored or {}).get("module_set") == module_set
+
+    def is_warm(name: str) -> bool:
+        if not same_set:
+            return False
+        rec = stored_modules.get(name)
+        if rec is None or rec.get("digest") != digest_by_module.get(name):
+            return False
+        return all(
+            digest_by_module.get(dep) == dep_digest
+            for dep, dep_digest in rec.get("deps", {}).items()
+        )
+
+    analysis = None
+    new_record: dict[str, Any] = {}
+    for name in module_set:
+        mod = model.modules[name]
+        if is_warm(name):
+            report.project_cached.append(mod.path)
+            rec = stored_modules[name]
+            report.diagnostics.extend(
+                diagnostic_from_json(d) for d in rec.get("diags", [])
+            )
+            new_record[name] = rec
+            continue
+        report.project_reanalyzed.append(mod.path)
+        if analysis is None:
+            from repro.lint.interproc import InterAnalysis
+
+            analysis = InterAnalysis(model)
+            deps = analysis.module_dependencies()
+        diags: list[Diagnostic] = []
+        for rule in inter_rules:
+            for d in rule.check_module(analysis, mod):
+                file_pragmas = pragmas_by_path.get(d.path, {})
+                if not is_disabled(file_pragmas, d.line, d.code, d.name):
+                    diags.append(d)
+        report.diagnostics.extend(diags)
+        new_record[name] = {
+            "digest": digest_by_module.get(name),
+            "deps": {
+                dep: digest_by_module[dep]
+                for dep in sorted(deps.get(name, ()))
+                if dep in digest_by_module
+            },
+            "diags": [diagnostic_to_json(d) for d in sorted(diags)],
+        }
+    if cache is not None:
+        cache.store_project(
+            {"module_set": module_set, "modules": new_record}
+        )
 
 
 def lint_file(

@@ -1,11 +1,15 @@
 """Machine-readable report formats (``repro lint --format``).
 
-``text`` is the classic one-line-per-finding report; ``json`` is a
-stable envelope for scripting (diagnostics plus engine counters, so CI
-can assert cache effectiveness); ``sarif`` is SARIF 2.1.0 — the
-interchange format GitHub code scanning and most editors ingest.  The
-SARIF document carries the full rule metadata table so viewers can
-render rule help without the repo checked out.
+``text`` is the classic one-line-per-finding report — with ``--explain``
+it also prints each interprocedural finding's witness chain, one
+indented hop per line; ``json`` is a stable envelope for scripting
+(diagnostics plus engine counters, so CI can assert cache
+effectiveness); ``sarif`` is SARIF 2.1.0 — the interchange format
+GitHub code scanning and most editors ingest.  The SARIF document
+carries the full rule metadata table so viewers can render rule help
+without the repo checked out, and every finding with a witness chain
+gets a ``codeFlows`` entry naming each function from the flagged one to
+the origin (the call-chain view in code-scanning UIs).
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import LintReport
 from repro.lint.registry import all_rules
 
@@ -21,7 +26,7 @@ __all__ = ["FORMATS", "render_report", "report_to_dict"]
 FORMATS = ("text", "json", "sarif")
 
 _TOOL_NAME = "reprolint"
-_TOOL_VERSION = "3.0.0"
+_TOOL_VERSION = "4.0.0"
 _SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -29,10 +34,23 @@ _SARIF_SCHEMA = (
 )
 
 
-def render_report(report: LintReport, fmt: str) -> str:
-    """Serialize a :class:`LintReport` as ``text``, ``json`` or ``sarif``."""
+def render_report(
+    report: LintReport, fmt: str, explain: bool = False
+) -> str:
+    """Serialize a :class:`LintReport` as ``text``, ``json`` or ``sarif``.
+
+    ``explain`` affects the text format only: findings carrying a
+    witness chain print it below the report line.  JSON always embeds
+    traces; SARIF always emits ``codeFlows``.
+    """
     if fmt == "text":
-        return "\n".join(d.render() for d in report.diagnostics)
+        lines = []
+        for d in report.diagnostics:
+            lines.append(d.render())
+            if explain and d.trace:
+                lines.append("  call chain:")
+                lines.extend(f"    {step.render()}" for step in d.trace)
+        return "\n".join(lines)
     if fmt == "json":
         return json.dumps(_json_doc(report), indent=2, sort_keys=True)
     if fmt == "sarif":
@@ -46,6 +64,29 @@ def report_to_dict(report: LintReport) -> dict[str, Any]:
     return _json_doc(report)
 
 
+def _diag_dict(d: Diagnostic) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "path": d.path,
+        "line": d.line,
+        "col": d.col,
+        "code": d.code,
+        "name": d.name,
+        "message": d.message,
+    }
+    if d.trace:
+        out["trace"] = [
+            {
+                "path": s.path,
+                "line": s.line,
+                "col": s.col,
+                "function": s.function,
+                "note": s.note,
+            }
+            for s in d.trace
+        ]
+    return out
+
+
 def _json_doc(report: LintReport) -> dict[str, Any]:
     return {
         "tool": _TOOL_NAME,
@@ -53,18 +94,35 @@ def _json_doc(report: LintReport) -> dict[str, Any]:
         "files": report.files,
         "parsed": report.parsed,
         "cached": report.cached,
-        "diagnostics": [
-            {
-                "path": d.path,
-                "line": d.line,
-                "col": d.col,
-                "code": d.code,
-                "name": d.name,
-                "message": d.message,
-            }
-            for d in report.diagnostics
-        ],
+        "project_reanalyzed": len(report.project_reanalyzed),
+        "project_cached": len(report.project_cached),
+        "suppressed": report.suppressed,
+        "stale_baseline": list(report.stale_baseline),
+        "diagnostics": [_diag_dict(d) for d in report.diagnostics],
     }
+
+
+def _code_flows(d: Diagnostic) -> list[dict[str, Any]]:
+    """SARIF codeFlows: one threadFlow tracing the witness chain."""
+    locations = [
+        {
+            "location": {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": step.path},
+                    "region": {
+                        "startLine": step.line,
+                        "startColumn": max(step.col, 1),
+                    },
+                },
+                "message": {
+                    "text": f"{step.function}: {step.note}" if step.note
+                    else step.function
+                },
+            }
+        }
+        for step in d.trace
+    ]
+    return [{"threadFlows": [{"locations": locations}]}]
 
 
 def _sarif_doc(report: LintReport) -> dict[str, Any]:
@@ -85,8 +143,9 @@ def _sarif_doc(report: LintReport) -> dict[str, Any]:
                 "defaultConfiguration": {"level": "warning"},
             }
         )
-    results = [
-        {
+    results = []
+    for d in report.diagnostics:
+        result: dict[str, Any] = {
             "ruleId": d.code,
             "level": "error" if d.code == "E0" else "warning",
             "message": {"text": f"[{d.name}] {d.message}"},
@@ -102,8 +161,9 @@ def _sarif_doc(report: LintReport) -> dict[str, Any]:
                 }
             ],
         }
-        for d in report.diagnostics
-    ]
+        if d.trace:
+            result["codeFlows"] = _code_flows(d)
+        results.append(result)
     return {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,

@@ -30,6 +30,14 @@ attribute guarded by the named lock attribute (R9 then demands every
 access happen under ``with self.<lock>:``); ``single-threaded`` on a
 ``def`` line documents a method as never called concurrently, exempting
 its accesses from the discipline.
+
+A third directive feeds the determinism rules (R1, R13)::
+
+    t0 = time.perf_counter()  # reprolint: clock-ok=benchmark timing
+
+``clock-ok=<reason>`` marks an ambient-state read on that line as
+intentional: the call site stops being an R13 taint source (nothing
+downstream inherits it) and R1 skips it too.
 """
 
 from __future__ import annotations
@@ -40,8 +48,26 @@ import re
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
 _GUARDED_BY_RE = re.compile(r"#\s*reprolint:\s*guarded-by=([A-Za-z_]\w*)")
 _SINGLE_THREADED_RE = re.compile(r"#\s*reprolint:\s*single-threaded\b")
+_CLOCK_OK_RE = re.compile(r"#\s*reprolint:\s*clock-ok(?:=([^#]+))?")
 
 ALL = "all"
+
+
+def clock_ok_annotations(lines: list[str]) -> dict[int, str]:
+    """Map 1-based line number -> justification of a ``clock-ok``
+    annotation there.
+
+    ``clock-ok`` declares an ambient-state read (wall clock, env,
+    entropy) *intentional* — benchmark timing, log stamps — so the
+    determinism rules (R1 call-site, R13 taint) leave that line alone.
+    The justification after ``=`` is free text and may be empty.
+    """
+    out: dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        m = _CLOCK_OK_RE.search(text)
+        if m is not None:
+            out[lineno] = (m.group(1) or "").strip()
+    return out
 
 
 def guarded_by_annotations(lines: list[str]) -> dict[int, str]:

@@ -27,13 +27,15 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.lint.astutil import call_name, dotted_name
 from repro.lint.cfg import CFG, build_cfg
-from repro.lint.rules.common import call_name, dotted_name
+from repro.lint.pragmas import clock_ok_annotations
 
 __all__ = [
     "ArgSummary",
     "CallSite",
     "FunctionInfo",
+    "KNOB_NAMES",
     "ModuleInfo",
     "ProjectModel",
     "SEED_PARAM_NAMES",
@@ -67,7 +69,13 @@ class ArgSummary:
 
 @dataclass(frozen=True)
 class CallSite:
-    """One call expression inside a function body."""
+    """One call expression inside a function body.
+
+    ``guard`` is the strongest ``try`` protection enclosing the site
+    (``""`` < ``"narrow"`` < ``"oserror"`` < ``"broad"``, by handler
+    type); ``in_handler`` marks sites inside an ``except`` body (they
+    run while converting a failure, under the *outer* guard only).
+    """
 
     callee: str  # dotted name as written, e.g. "np.random.default_rng"
     lineno: int
@@ -76,6 +84,8 @@ class CallSite:
     keywords: tuple[tuple[str, ArgSummary], ...] = ()
     has_star_args: bool = False
     has_star_kwargs: bool = False
+    guard: str = ""
+    in_handler: bool = False
 
     def keyword_names(self) -> set[str]:
         """Names of every keyword argument passed at this site."""
@@ -106,6 +116,11 @@ class FunctionInfo:
     seed_shadows: list[tuple[str, int, int]] = field(default_factory=list)
     samples_directly: bool = False
     is_test: bool = False
+    # (knob, lineno, col, hazard) for fast-path branches with a missing
+    # or raising reference branch — R14's raw material
+    knob_hazards: list[tuple[str, int, int, str]] = field(default_factory=list)
+    # line numbers of raise statements outside any enclosing try
+    raises: list[int] = field(default_factory=list)
     # control-flow graph; only built for files in the envelope-contract
     # scope (see :func:`wants_cfg`) to keep cache entries small
     cfg: CFG | None = None
@@ -146,6 +161,11 @@ class ModuleInfo:
     # calls at module level (outside any function body) — the envelope
     # rule needs them because module-level prints bypass every handler
     toplevel_calls: list[CallSite] = field(default_factory=list)
+    # class qualname -> {attr -> constructor dotted name} for one-level
+    # ``self.x = Ctor(...)`` assignments (receiver-type resolution)
+    attr_types: dict[str, dict[str, str]] = field(default_factory=dict)
+    # 1-based line -> justification of a ``# reprolint: clock-ok=`` pragma
+    clock_ok: dict[int, str] = field(default_factory=dict)
 
     # -- serialization (for the incremental cache) ---------------------
 
@@ -167,6 +187,8 @@ class ModuleInfo:
                 seed_shadows=[tuple(s) for s in fn.get("seed_shadows", [])],
                 samples_directly=fn.get("samples_directly", False),
                 is_test=fn.get("is_test", False),
+                knob_hazards=[tuple(h) for h in fn.get("knob_hazards", [])],
+                raises=list(fn.get("raises", [])),
                 cfg=CFG.from_json(fn["cfg"]) if fn.get("cfg") else None,
             )
         return cls(
@@ -181,6 +203,14 @@ class ModuleInfo:
                 _call_site_from_json(c)
                 for c in data.get("toplevel_calls", [])
             ],
+            attr_types={
+                cls: dict(attrs)
+                for cls, attrs in data.get("attr_types", {}).items()
+            },
+            clock_ok={
+                int(line): why
+                for line, why in data.get("clock_ok", {}).items()
+            },
         )
 
 
@@ -195,6 +225,8 @@ def _call_site_from_json(c: dict[str, Any]) -> CallSite:
         ),
         has_star_args=c.get("has_star_args", False),
         has_star_kwargs=c.get("has_star_kwargs", False),
+        guard=c.get("guard", ""),
+        in_handler=c.get("in_handler", False),
     )
 
 
@@ -261,7 +293,9 @@ def _expr_is_constant_only(node: ast.expr) -> bool:
     )
 
 
-def _summarize_call(node: ast.Call) -> CallSite | None:
+def _summarize_call(
+    node: ast.Call, guard: str = "", in_handler: bool = False
+) -> CallSite | None:
     name = call_name(node)
     if name is None:
         return None
@@ -269,6 +303,8 @@ def _summarize_call(node: ast.Call) -> CallSite | None:
         callee=name,
         lineno=node.lineno,
         col=node.col_offset,
+        guard=guard,
+        in_handler=in_handler,
         args=tuple(
             _summarize_arg(a)
             for a in node.args
@@ -284,23 +320,97 @@ def _summarize_call(node: ast.Call) -> CallSite | None:
     )
 
 
+# Guard categories a try/except imposes on call sites in its body,
+# ordered weakest to strongest.
+_GUARD_ORDER = {"": 0, "narrow": 1, "oserror": 2, "broad": 3}
+
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+_OSERROR_HANDLERS = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "EnvironmentError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "BrokenPipeError",
+        "TimeoutError",
+    }
+)
+
+
+def _handler_category(handler: ast.ExceptHandler) -> str:
+    """What an ``except <type>`` clause can absorb."""
+    def one(node: ast.expr | None) -> str:
+        if node is None:
+            return "broad"  # bare except
+        name = dotted_name(node)
+        tail = name.split(".")[-1] if name else ""
+        if tail in _BROAD_HANDLERS:
+            return "broad"
+        if tail in _OSERROR_HANDLERS:
+            return "oserror"
+        return "narrow"
+
+    if handler.type is not None and isinstance(handler.type, ast.Tuple):
+        cats = [one(e) for e in handler.type.elts]
+        return max(cats, key=_GUARD_ORDER.__getitem__, default="narrow")
+    return one(handler.type)
+
+
+def _try_category(node: ast.Try) -> str:
+    """The strongest absorption any handler of this ``try`` offers."""
+    cats = [_handler_category(h) for h in node.handlers]
+    return max(cats, key=_GUARD_ORDER.__getitem__, default="")
+
+
 class _FunctionScanner(ast.NodeVisitor):
-    """Collect call sites, sampling sinks and seed shadows of one body."""
+    """Collect call sites, sampling sinks and seed shadows of one body.
+
+    A stack of guard categories tracks the ``try`` nesting around each
+    call site; handler and ``else``/``finally`` bodies are visited with
+    their own try's guard popped (an exception raised *there* sails past
+    that try), and handler bodies additionally set ``in_handler``.
+    """
 
     def __init__(self, info: FunctionInfo) -> None:
         self.info = info
+        self._guards: list[str] = []
+        self._handler_depth = 0
+
+    def _guard(self) -> str:
+        return max(self._guards, key=_GUARD_ORDER.__getitem__, default="")
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         pass  # nested defs get their own FunctionInfo
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
 
+    def visit_Try(self, node: ast.Try) -> None:
+        self._guards.append(_try_category(node))
+        for stmt in node.body:
+            self.visit(stmt)
+        self._guards.pop()
+        self._handler_depth += 1
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.visit(stmt)
+        self._handler_depth -= 1
+        for stmt in [*node.orelse, *node.finalbody]:
+            self.visit(stmt)
+
     def visit_Call(self, node: ast.Call) -> None:
-        site = _summarize_call(node)
+        site = _summarize_call(
+            node, guard=self._guard(), in_handler=self._handler_depth > 0
+        )
         if site is not None:
             if site.callee.split(".")[-1] in _SAMPLING_TAILS:
                 self.info.samples_directly = True
             self.info.calls.append(site)
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self._guard() == "" and self._handler_depth == 0:
+            self.info.raises.append(node.lineno)
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -314,6 +424,135 @@ class _FunctionScanner(ast.NodeVisitor):
                     (target.id, node.lineno, node.col_offset)
                 )
         self.generic_visit(node)
+
+
+# Fast-path knobs whose gating branches R14 audits: each selects a
+# bit-identical accelerated implementation with a reference escape hatch.
+KNOB_NAMES = frozenset({"use_batch", "use_memo", "use_shm", "use_cache", "vectorized"})
+
+
+def _knob_test(expr: ast.expr) -> tuple[str, bool] | None:
+    """``(knob, positive)`` when ``expr`` tests a fast-path knob:
+    a bare name, ``self.<knob>``, ``not <knob-test>``, or the first
+    operand of an ``and`` chain (``if use_shm and n > 1:``)."""
+    if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And) and expr.values:
+        return _knob_test(expr.values[0])
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        inner = _knob_test(expr.operand)
+        return (inner[0], not inner[1]) if inner is not None else None
+    if isinstance(expr, ast.Name) and expr.id in KNOB_NAMES:
+        return expr.id, True
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in KNOB_NAMES
+    ):
+        return expr.attr, True
+    return None
+
+
+def _raising_branch(body: list[ast.stmt]) -> bool:
+    """A branch that only raises (possibly after logging expressions)."""
+    return bool(body) and isinstance(body[-1], ast.Raise) and all(
+        isinstance(s, (ast.Raise, ast.Expr)) for s in body
+    )
+
+
+def _knob_hazards(body: list[ast.stmt]) -> list[tuple[str, int, int, str]]:
+    """Fast-path gates with a missing or raising reference branch.
+
+    ``no-slow-path``: ``if <knob>:`` in tail position whose body ends in
+    Return/Raise with no ``else`` — turning the knob off falls off the
+    function instead of reaching reference code.  ``raising-slow-path``:
+    the knob-off branch (``else:`` of a positive test, or the body of
+    ``if not <knob>:``) consists solely of a ``raise``.
+    """
+    out: list[tuple[str, int, int, str]] = []
+
+    def scan(stmts: list[ast.stmt], tail: bool) -> None:
+        for i, stmt in enumerate(stmts):
+            last = i == len(stmts) - 1
+            if isinstance(stmt, ast.If):
+                kt = _knob_test(stmt.test)
+                if kt is not None:
+                    knob, positive = kt
+                    where = (knob, stmt.lineno, stmt.col_offset)
+                    if positive and _raising_branch(stmt.orelse):
+                        out.append((*where, "raising-slow-path"))
+                    elif (
+                        positive
+                        and not stmt.orelse
+                        and tail
+                        and last
+                        and stmt.body
+                        and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+                    ):
+                        out.append((*where, "no-slow-path"))
+                    elif not positive and _raising_branch(stmt.body):
+                        out.append((*where, "raising-slow-path"))
+                scan(stmt.body, tail and last)
+                scan(stmt.orelse, tail and last)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                scan(stmt.body, False)
+                scan(stmt.orelse, False)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                scan(stmt.body, tail and last)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body, False)
+                for handler in stmt.handlers:
+                    scan(handler.body, False)
+                scan(stmt.orelse, False)
+                scan(stmt.finalbody, False)
+
+    scan(body, True)
+    return out
+
+
+def _collect_attr_types(tree: ast.Module) -> dict[str, dict[str, str]]:
+    """Per class qualname, one-level receiver types:
+    ``self.<attr> = Ctor(...)`` assignments in its methods (the ctor
+    dotted name must look like a class — capitalized last segment)."""
+    out: dict[str, dict[str, str]] = {}
+
+    def looks_like_class(name: str | None) -> bool:
+        if not name:
+            return False
+        seg = name.split(".")[-1].lstrip("_")
+        return bool(seg) and seg[0].isupper()
+
+    def scan_body(body: list[ast.stmt], prefix: str) -> None:
+        for stmt in body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            qual = f"{prefix}{stmt.name}"
+            attrs: dict[str, str] = {}
+            for method in stmt.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for sub in ast.walk(method):
+                    if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                        target, value = sub.targets[0], sub.value
+                    elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                        target, value = sub.target, sub.value
+                    else:
+                        continue
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and isinstance(value, ast.Call)
+                    ):
+                        continue
+                    ctor = dotted_name(value.func)
+                    if looks_like_class(ctor):
+                        attrs.setdefault(target.attr, ctor)
+            if attrs:
+                out[qual] = attrs
+            scan_body(stmt.body, f"{qual}.")
+
+    scan_body(tree.body, "")
+    return out
 
 
 def _function_info(
@@ -342,6 +581,7 @@ def _function_info(
     scanner = _FunctionScanner(info)
     for stmt in node.body:
         scanner.visit(stmt)
+    info.knob_hazards = _knob_hazards(node.body)
     return info
 
 
@@ -362,10 +602,20 @@ def _walk_definitions(
             )
 
 
-def build_module_info(path: Path, tree: ast.Module) -> ModuleInfo:
-    """Summarize one parsed file for the whole-program pass."""
+def build_module_info(
+    path: Path, tree: ast.Module, lines: list[str] | None = None
+) -> ModuleInfo:
+    """Summarize one parsed file for the whole-program pass.
+
+    ``lines`` (when available) feeds the ``# reprolint: clock-ok=``
+    pragma map — source is optional so summaries can also be rebuilt
+    from cached JSON without the file text.
+    """
     module = module_name_for(path)
     info = ModuleInfo(module=module, path=path.as_posix())
+    if lines is not None:
+        info.clock_ok = clock_ok_annotations(lines)
+    info.attr_types = _collect_attr_types(tree)
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -442,6 +692,7 @@ class ProjectModel:
             for fn in mod.functions.values():
                 self._function_index[f"{mod.module}.{fn.qualname}"] = (mod, fn)
         self._sampling: set[str] | None = None
+        self._call_graph: Any = None
 
     # -- lookups -------------------------------------------------------
 
@@ -520,6 +771,97 @@ class ProjectModel:
                     return self._chase(rebased, depth + 1)
                 return target
         return target
+
+    def class_context(
+        self, module: ModuleInfo, fn: FunctionInfo
+    ) -> str | None:
+        """Innermost enclosing *class* qualname of a method, or None.
+
+        The longest qualname prefix that is not itself a function of
+        the module — so a closure nested in a method still sees the
+        method's class (it can capture ``self``)."""
+        parts = fn.qualname.split(".")[:-1]
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix not in module.functions:
+                return prefix
+        return None
+
+    def resolve_in(
+        self, module: ModuleInfo, fn: FunctionInfo, callee: str
+    ) -> str | None:
+        """Resolution of a callee as seen from *inside* ``fn``.
+
+        Extends :meth:`resolve` with the class-aware cases the call
+        graph needs: ``self.m()``/``cls.m()`` against the enclosing
+        class (unique-suffix fallback when the context is ambiguous),
+        ``self.attr.m()`` through one-level receiver types recorded in
+        :attr:`ModuleInfo.attr_types`, and bare names against sibling
+        nested defs.
+        """
+        head, _, rest = callee.partition(".")
+        if head in ("self", "cls"):
+            cls_qual = self.class_context(module, fn)
+            if rest and "." not in rest:
+                if cls_qual is not None:
+                    qual = f"{cls_qual}.{rest}"
+                    if qual in module.functions:
+                        return f"{module.module}.{qual}"
+                matches = [
+                    qual
+                    for qual in module.functions
+                    if qual.endswith(f".{rest}")
+                ]
+                if len(matches) == 1:
+                    return f"{module.module}.{matches[0]}"
+                return None
+            if rest:
+                attr, _, method = rest.partition(".")
+                if not method or "." in method or cls_qual is None:
+                    return None
+                ctor = module.attr_types.get(cls_qual, {}).get(attr)
+                if ctor is None:
+                    return None
+                owner = self._resolve_ctor(module, ctor)
+                if owner is None:
+                    return None
+                target = f"{owner}.{method}"
+                return target if target in self._function_index else None
+            return None
+        if "." not in callee:
+            nested = f"{fn.qualname}.{callee}"
+            if nested in module.functions:
+                return f"{module.module}.{nested}"
+        return self.resolve(module, callee)
+
+    def _resolve_ctor(self, module: ModuleInfo, ctor: str) -> str | None:
+        """Fully-qualified id of the class a constructor call names:
+        same-module classes first (any method defined under the name),
+        then import chasing — verified against the function index so a
+        misresolved receiver never fabricates edges."""
+        prefix = f"{ctor}."
+        if any(qual.startswith(prefix) for qual in module.functions):
+            return f"{module.module}.{ctor}"
+        head, _, rest = ctor.partition(".")
+        if head in module.imports:
+            target = module.imports[head] + (f".{rest}" if rest else "")
+            resolved = self._chase(target)
+            if resolved is not None and any(
+                key.startswith(f"{resolved}.") for key in self._function_index
+            ):
+                return resolved
+        return None
+
+    # -- the resolved call graph ---------------------------------------
+
+    def call_graph(self):
+        """The resolved project-wide call graph, built once and cached
+        (see :mod:`repro.lint.callgraph`)."""
+        if self._call_graph is None:
+            from repro.lint.callgraph import build_call_graph
+
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
 
     # -- sampling closure ----------------------------------------------
 

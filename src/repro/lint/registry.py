@@ -6,7 +6,12 @@ Two kinds of rule share one registry:
   parsed :class:`~repro.lint.engine.FileContext`;
 - **project rules** (R6-R8, R11) expose ``check_project(model)`` over
   the whole-program :class:`~repro.lint.project.ProjectModel` built
-  from every linted file.
+  from every linted file;
+- **interprocedural rules** (R13-R15) expose
+  ``check_module(analysis, mod)`` over one module against the shared
+  :class:`~repro.lint.interproc.InterAnalysis` — per-module dispatch is
+  what lets the incremental cache re-lint only a changed module and its
+  transitive callers.
 
 Either way a rule is a class with ``code`` (``"R1"``..), ``name``
 (pragma-friendly slug) and ``description``; registration happens at
@@ -64,9 +69,15 @@ def register(cls: type) -> type:
 
 
 def is_project_rule(rule: object) -> bool:
-    """True for whole-program rules (``check_project``), False for
-    per-file rules (``check``)."""
-    return hasattr(rule, "check_project")
+    """True for whole-program rules (``check_project`` or
+    ``check_module``), False for per-file rules (``check`` only)."""
+    return hasattr(rule, "check_project") or hasattr(rule, "check_module")
+
+
+def is_interprocedural(rule: object) -> bool:
+    """True for call-graph rules dispatched per module
+    (``check_module(analysis, mod)``)."""
+    return hasattr(rule, "check_module")
 
 
 def _load_builtin_rules() -> None:

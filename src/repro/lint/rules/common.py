@@ -1,33 +1,12 @@
-"""Small AST helpers shared by the rule implementations."""
+"""Small AST helpers shared by the rule implementations.
+
+The implementations live in :mod:`repro.lint.astutil` (a leaf module,
+so the project model can use them without importing the rules
+package); this module re-exports them under the historical name.
+"""
 
 from __future__ import annotations
 
-import ast
+from repro.lint.astutil import call_name, decorator_name, dotted_name
 
 __all__ = ["dotted_name", "call_name", "decorator_name"]
-
-
-def dotted_name(node: ast.expr) -> str | None:
-    """``np.random.default_rng`` -> that string; None for non-name exprs."""
-    parts: list[str] = []
-    cur: ast.expr = node
-    while isinstance(cur, ast.Attribute):
-        parts.append(cur.attr)
-        cur = cur.value
-    if isinstance(cur, ast.Name):
-        parts.append(cur.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def call_name(node: ast.Call) -> str | None:
-    """Dotted name of the called expression, or None if not a name."""
-    return dotted_name(node.func)
-
-
-def decorator_name(node: ast.expr) -> str | None:
-    """Dotted name of a decorator, unwrapping a trailing call:
-    ``@pytest.mark.parametrize(...)`` -> ``pytest.mark.parametrize``."""
-    if isinstance(node, ast.Call):
-        return dotted_name(node.func)
-    return dotted_name(node)

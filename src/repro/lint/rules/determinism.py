@@ -22,6 +22,7 @@ from typing import Iterator
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import FileContext
+from repro.lint.pragmas import clock_ok_annotations
 from repro.lint.registry import register
 from repro.lint.rules.common import call_name
 
@@ -139,6 +140,12 @@ class DeterminismRule:
             )
             return
         if in_hot_path and name in _WALL_CLOCK:
+            # a ``# reprolint: clock-ok=<reason>`` annotation declares
+            # the read intentional (benchmark timing); R13 honors the
+            # same pragma for transitive reachability
+            line = ctx.lines[node.lineno - 1] if node.lineno <= len(ctx.lines) else ""
+            if clock_ok_annotations([line]):
+                return
             yield ctx.diag(
                 node,
                 self,

@@ -92,6 +92,7 @@ def best_period_search(
                 platform_mtbf=platform_mtbf,
                 max_makespan=max_makespan,
                 ensemble=ensemble,
+                use_batch=use_batch,
             )
             spans = [res.makespan for res in results if res is not None]
         else:

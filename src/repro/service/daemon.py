@@ -94,6 +94,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _safe_send(
+        self, status: int, exc_type: str, message: str, exit_code: int = 2
+    ) -> None:
+        """Build and send an error envelope without letting the attempt
+        itself kill the handler thread: when the peer is gone (broken
+        pipe) or the envelope cannot serialize, the failure is logged
+        and swallowed — there is no further channel to report it on."""
+        try:
+            env = error_envelope(
+                "service.error", exc_type, message, exit_code=exit_code
+            )
+            self._send(status, env)
+        except Exception as exc:
+            hlog(f"[serve] failed to send error response: {exc!r}")
+
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY:
@@ -118,17 +133,14 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._dispatch(method, parts)
         except (ValueError, SpecError) as exc:
-            self._send(400, error_envelope(
-                "service.error", type(exc).__name__, str(exc)))
+            self._safe_send(400, type(exc).__name__, str(exc))
         except KeyError as exc:
-            self._send(404, error_envelope(
-                "service.error", "NotFound", str(exc.args[0] if exc.args else exc)))
+            self._safe_send(
+                404, "NotFound", str(exc.args[0] if exc.args else exc))
         except LookupError as exc:
-            self._send(409, error_envelope(
-                "service.error", "NotReady", str(exc), exit_code=1))
+            self._safe_send(409, "NotReady", str(exc), exit_code=1)
         except Exception as exc:
-            self._send(500, error_envelope(
-                "service.error", type(exc).__name__, str(exc)))
+            self._safe_send(500, type(exc).__name__, str(exc))
 
     def _dispatch(self, method: str, parts: list[str]) -> None:
         queue = self.daemon.queue

@@ -520,7 +520,7 @@ class ParallelRunner:
         """Run ``policies`` over ``n_traces`` generated traces; see
         :func:`repro.simulation.runner.run_scenarios` for semantics."""
         # diagnostic elapsed-time only; never feeds simulation state
-        start = time.perf_counter()  # reprolint: disable=R1
+        start = time.perf_counter()  # reprolint: clock-ok=diagnostic elapsed time
         self._units_done = 0
         self._units_total = 0
         prior_enabled = get_cache().enabled
@@ -761,7 +761,7 @@ class ParallelRunner:
             work_time=work_time,
             best_period=best_period,
             infeasible=infeasible,
-            elapsed=time.perf_counter() - start,  # reprolint: disable=R1
+            elapsed=time.perf_counter() - start,  # reprolint: clock-ok=diagnostic elapsed time
             n_jobs=self.jobs,
             cache_hits=hits,
             cache_misses=misses,

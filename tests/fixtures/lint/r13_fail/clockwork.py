@@ -1,0 +1,13 @@
+"""R13 fixture: the wall clock hides two calls away from the kernel."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def advance(state: float) -> float:
+    return state + stamp()

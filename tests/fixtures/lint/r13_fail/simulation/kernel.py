@@ -1,0 +1,9 @@
+"""R13 fixture: a simulation kernel transitively reads the wall clock."""
+
+from __future__ import annotations
+
+from clockwork import advance
+
+
+def step(state: float) -> float:
+    return advance(state)

@@ -1,0 +1,16 @@
+"""R13 passing fixture: annotated timing plus seeded randomness."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def measure() -> float:
+    return time.perf_counter()  # reprolint: clock-ok=benchmark timing
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

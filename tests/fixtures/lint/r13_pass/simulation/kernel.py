@@ -1,0 +1,9 @@
+"""R13 passing fixture: the kernel only sees seeded draws."""
+
+from __future__ import annotations
+
+from clockwork import draw
+
+
+def step(seed: int) -> float:
+    return draw(seed)

@@ -1,0 +1,41 @@
+"""R15 fixture: exceptions escape the handler and the worker loop."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Handler:
+    """do_GET -> _route -> _dispatch: raise and socket write escape."""
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def _route(self, method: str) -> None:
+        self._dispatch(method)
+
+    def _dispatch(self, method: str) -> None:
+        if method != "GET":
+            raise KeyError(method)
+        self.wfile.write(b"ok")
+
+
+class Worker:
+    """The loop handed to Thread() dies on the first failed job."""
+
+    def __init__(self) -> None:
+        self._jobs: list = []
+        self._thread = threading.Thread(target=self._loop, daemon=False)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while self._jobs:
+            job = self._jobs.pop()
+            job.run()
+            if job.failed:
+                raise RuntimeError("job failed")
+
+    def stop(self) -> None:
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,52 @@
+"""R15 passing fixture: every escape route converts to an envelope."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.envelope import error_envelope, hlog
+
+
+class Handler:
+    """Failures convert to error envelopes; the send itself is guarded."""
+
+    def do_GET(self) -> None:
+        try:
+            self._dispatch("GET")
+        except Exception as exc:
+            self._safe_send(type(exc).__name__, str(exc))
+
+    def _dispatch(self, method: str) -> None:
+        if method != "GET":
+            raise KeyError(method)
+        self.wfile.write(b"ok")
+
+    def _safe_send(self, exc_type: str, message: str) -> None:
+        try:
+            env = error_envelope("service.error", exc_type, message)
+            self.wfile.write(repr(env).encode())
+        except OSError as exc:
+            hlog(f"failed to send error response: {exc!r}")
+
+
+class Worker:
+    """Failed jobs become failed-job records; the loop survives."""
+
+    def __init__(self) -> None:
+        self._jobs: list = []
+        self._thread = threading.Thread(target=self._loop, daemon=False)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while self._jobs:
+            job = self._jobs.pop()
+            try:
+                job.run()
+            except Exception as exc:
+                job.record_failure(error_envelope(
+                    "service.job", type(exc).__name__, str(exc)))
+
+    def stop(self) -> None:
+        self._thread.join(timeout=5.0)

@@ -1,12 +1,16 @@
 """reprolint: rule fixtures, pragmas, engine mechanics, cache, CLI.
 
-Each rule R1-R12 is demonstrated by a failing and a passing fixture under
+Each rule R1-R15 is demonstrated by a failing and a passing fixture under
 ``tests/fixtures/lint/`` (never collected by pytest, never swept up by
 directory-walk linting).  The property-style pair test asserts each
 failing fixture triggers *exactly* its own rule — no cross-rule bleed —
 and each passing fixture is completely clean under the full rule set.
 The capstone test asserts the real tree passes its own linter:
 ``repro lint src tests`` must exit 0.
+
+The interprocedural layer (call graph, R13-R15, ``--explain`` traces,
+the lint baseline and the project-level cache) is covered in its own
+sections toward the end.
 """
 
 from __future__ import annotations
@@ -21,14 +25,14 @@ from repro.lint import all_rules, get_rule, lint_file, lint_paths, run_lint
 from repro.lint.cache import LintCache
 from repro.lint.engine import iter_python_files
 from repro.lint.formats import render_report
-from repro.lint.registry import is_project_rule
+from repro.lint.registry import is_interprocedural, is_project_rule
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "fixtures" / "lint"
 
 ALL_CODES = [
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
-    "R9", "R10", "R11", "R12",
+    "R9", "R10", "R11", "R12", "R13", "R14", "R15",
 ]
 
 # code -> (failing fixture, passing fixture); directories exercise the
@@ -46,6 +50,9 @@ FIXTURE_PAIRS = {
     "R10": ("r10_fail", "r10_pass"),
     "R11": ("service/r11_fail.py", "service/r11_pass.py"),
     "R12": ("r12_fail.py", "r12_pass.py"),
+    "R13": ("r13_fail", "r13_pass"),
+    "R14": ("r14_fail.py", "r14_pass.py"),
+    "R15": ("service/r15_fail.py", "service/r15_pass.py"),
 }
 
 
@@ -382,12 +389,15 @@ def test_pragma_on_decorator_line_covers_the_def(tmp_path):
 # ----------------------------------------------------------------------
 
 
-def test_registry_exposes_twelve_rules():
+def test_registry_exposes_fifteen_rules():
     assert [r.code for r in all_rules()] == ALL_CODES
     assert get_rule("unit-safety").code == "R2"
     assert get_rule("seed-flow").code == "R6"
     assert get_rule("lock-discipline").code == "R9"
     assert get_rule("envelope-conformance").code == "R11"
+    assert get_rule("determinism-taint").code == "R13"
+    assert get_rule("knob-parity").code == "R14"
+    assert get_rule("service-exception-contract").code == "R15"
     with pytest.raises(KeyError):
         get_rule("R99")
 
@@ -395,8 +405,12 @@ def test_registry_exposes_twelve_rules():
 def test_project_rules_are_discriminated_from_file_rules():
     for code in ("R2", "R9", "R10", "R12"):
         assert not is_project_rule(get_rule(code))
-    for code in ("R6", "R7", "R8", "R11"):
+    for code in ("R6", "R7", "R8", "R11", "R13", "R14", "R15"):
         assert is_project_rule(get_rule(code))
+    for code in ("R13", "R14", "R15"):
+        assert is_interprocedural(get_rule(code))
+    for code in ("R6", "R7", "R8", "R11"):
+        assert not is_interprocedural(get_rule(code))
 
 
 def test_directory_walk_skips_fixture_violations_and_cache():
@@ -721,9 +735,9 @@ def test_repro_lint_src_is_clean():
 
 
 def test_repro_lint_src_and_tests_clean_with_all_rules():
-    """The full-tree gate with R1-R12 enabled — including the
-    whole-program seed-flow, unit-propagation, registry and
-    envelope-conformance checks."""
+    """The full-tree gate with R1-R15 enabled — including the
+    whole-program seed-flow, unit-propagation, registry,
+    envelope-conformance and interprocedural flow checks."""
     diags = lint_paths([REPO / "src", REPO / "tests"])
     assert diags == [], [d.render() for d in diags]
 
@@ -736,6 +750,297 @@ def test_cli_concurrency_rules_clean_on_real_tree(capsys, tmp_path,
                  str(REPO / "src")]) == 0
     env = json.loads(capsys.readouterr().out)
     assert env["data"]["diagnostics"] == []
+
+
+def test_cli_interprocedural_rules_clean_on_real_tree(capsys, tmp_path,
+                                                      monkeypatch):
+    """R13-R15 pass over the swept tree via the CLI."""
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--select", "R13,R14,R15",
+                 str(REPO / "src")]) == 0
+    env = json.loads(capsys.readouterr().out)
+    assert env["data"]["diagnostics"] == []
+
+
+# ----------------------------------------------------------------------
+# interprocedural layer: witness traces and --explain
+# ----------------------------------------------------------------------
+
+
+def test_r13_trace_names_every_chain_function():
+    """The acceptance chain: a two-hop indirect time.time read carries a
+    witness trace naming every function on the way to the source."""
+    report = run_lint([FIXTURES / "r13_fail"])
+    [diag] = report.diagnostics
+    assert diag.code == "R13"
+    names = [s.function.rsplit(".", 1)[-1] for s in diag.trace]
+    assert names == ["step", "advance", "stamp"]
+    assert diag.trace[-1].note == "reads time.time()"
+    assert all(s.line >= 1 and s.col >= 1 for s in diag.trace)
+
+
+def test_r13_explain_text_prints_the_call_chain():
+    report = run_lint([FIXTURES / "r13_fail"])
+    plain = render_report(report, "text")
+    explained = render_report(report, "text", explain=True)
+    assert "call chain:" not in plain
+    assert "call chain:" in explained
+    for name in ("step", "advance", "stamp"):
+        assert name in explained
+
+
+def test_r13_sarif_code_flow_names_every_chain_function():
+    doc = json.loads(
+        render_report(run_lint([FIXTURES / "r13_fail"]), "sarif")
+    )
+    [result] = doc["runs"][0]["results"]
+    [flow] = result["codeFlows"]
+    messages = [
+        loc["location"]["message"]["text"]
+        for loc in flow["threadFlows"][0]["locations"]
+    ]
+    assert len(messages) == 3
+    for name, text in zip(("step", "advance", "stamp"), messages):
+        assert name in text
+
+
+def test_r13_real_tree_kernel_taint_is_empty():
+    """The meta-test behind the R13 gate: no core/simulation/traces
+    function transitively reaches an ambient-state source."""
+    import ast
+
+    from repro.lint.interproc import InterAnalysis, in_kernel_tier
+    from repro.lint.project import ProjectModel, build_module_info
+
+    modules = []
+    for path in iter_python_files([REPO / "src"]):
+        text = path.read_text(encoding="utf-8")
+        modules.append(
+            build_module_info(path, ast.parse(text), text.splitlines())
+        )
+    analysis = InterAnalysis(ProjectModel(modules))
+    tainted = {
+        f"{mod.module}.{fn.qualname}": sorted(
+            analysis.taints(f"{mod.module}.{fn.qualname}")
+        )
+        for mod, fn in analysis.model.functions()
+        if in_kernel_tier(mod)
+        and not fn.is_test
+        and analysis.taints(f"{mod.module}.{fn.qualname}")
+    }
+    assert tainted == {}
+
+
+def test_r14_fires_when_reference_branch_is_deleted(tmp_path):
+    """The acceptance edit: delete the slow-path branch of a gated
+    function and R14 appears."""
+    mod = tmp_path / "engine.py"
+    mod.write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "\n"
+        "def replay(values, use_batch=True):\n"
+        "    if use_batch:\n"
+        "        return [v + v for v in values]\n"
+        "    return [v * 2 for v in values]\n"
+    )
+    assert lint_paths([mod]) == []
+    mod.write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "\n"
+        "def replay(values, use_batch=True):\n"
+        "    if use_batch:\n"
+        "        return [v + v for v in values]\n"
+    )
+    diags = lint_paths([mod])
+    assert codes(diags) == {"R14"}
+    assert "use_batch" in diags[0].message
+
+
+def test_r15_trace_walks_handler_to_origin():
+    report = run_lint([FIXTURES / "service" / "r15_fail.py"])
+    [diag] = [
+        d for d in report.diagnostics
+        if "do_GET" in d.message and "unguarded raise" in d.message
+    ]
+    names = [s.function.rsplit(".", 1)[-1] for s in diag.trace]
+    assert names == ["do_GET", "_route", "_dispatch"]
+
+
+def test_cli_explain_prints_call_chain(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--explain",
+                 str(FIXTURES / "service" / "r15_fail.py")]) == 1
+    assert "call chain:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# lint baseline
+# ----------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_suppresses_then_goes_stale(tmp_path):
+    from repro.lint.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    report = run_lint([FIXTURES / "r14_fail.py"])
+    assert len(report.diagnostics) == 3
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, report.diagnostics)
+    baseline = load_baseline(baseline_file)
+    surviving, suppressed, stale = apply_baseline(
+        report.diagnostics, baseline
+    )
+    assert surviving == [] and suppressed == 3 and stale == []
+    # the tree improves: every entry has leftover capacity -> stale
+    clean, kept, leftovers = apply_baseline([], baseline)
+    assert clean == [] and kept == 0 and len(leftovers) == 3
+
+
+def test_baseline_counts_absorb_exactly():
+    from repro.lint.baseline import Baseline, apply_baseline
+    from repro.lint.diagnostics import Diagnostic
+
+    def diag(line):
+        return Diagnostic(path="m.py", line=line, col=1, code="R14",
+                          name="knob-parity", message="same finding")
+
+    base = Baseline.from_diagnostics([diag(3), diag(9)])
+    surviving, suppressed, stale = apply_baseline(
+        [diag(4), diag(10), diag(30)], base
+    )
+    # two entries absorb two findings regardless of line; the third is new
+    assert suppressed == 2 and len(surviving) == 1 and stale == []
+
+
+def test_baseline_never_suppresses_parse_errors():
+    from repro.lint.baseline import Baseline, apply_baseline
+    from repro.lint.diagnostics import Diagnostic
+
+    err = Diagnostic(path="m.py", line=1, col=1, code="E0",
+                     name="parse-error", message="boom")
+    base = Baseline.from_diagnostics([err])
+    assert base.counts == {}
+    surviving, suppressed, _ = apply_baseline([err], base)
+    assert surviving == [err] and suppressed == 0
+
+
+def test_cli_baseline_update_suppress_stale(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    mod = tmp_path / "mod.py"
+    mod.write_text((FIXTURES / "r14_fail.py").read_text())
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(mod), "--update-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # recorded findings no longer fail the run
+    assert main(["lint", str(mod), "--baseline", str(baseline)]) == 0
+    env = json.loads(capsys.readouterr().out)
+    assert env["data"]["suppressed"] == 3
+    assert env["data"]["diagnostics"] == []
+    # the tree improves; leftover entries are stale and fail the run
+    mod.write_text((FIXTURES / "r14_pass.py").read_text())
+    assert main(["lint", str(mod), "--baseline", str(baseline)]) == 1
+    captured = capsys.readouterr()
+    env = json.loads(captured.out)
+    assert env["data"]["stale_baseline"]
+    assert "stale baseline" in captured.err
+
+
+def test_cli_baseline_with_absent_file_is_clean(capsys, tmp_path,
+                                                monkeypatch):
+    monkeypatch.setenv("REPROLINT_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["lint", "--baseline", str(tmp_path / "none.json"),
+                 str(FIXTURES / "r2_pass.py")]) == 0
+
+
+def test_committed_baseline_is_empty():
+    """The repo ships an empty baseline: the tree is clean and any new
+    finding fails CI rather than being absorbed silently."""
+    doc = json.loads((REPO / ".reprolint-baseline.json").read_text())
+    assert doc == {"entries": [], "version": 1}
+
+
+# ----------------------------------------------------------------------
+# call-graph-aware project cache
+# ----------------------------------------------------------------------
+
+
+def _chain_project(proj):
+    """a -> b -> c call chain plus an unrelated module d."""
+    proj.mkdir(parents=True, exist_ok=True)
+    (proj / "a.py").write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "from b import g\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return g()\n"
+    )
+    (proj / "b.py").write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "from c import h\n"
+        "\n"
+        "\n"
+        "def g():\n"
+        "    return h()\n"
+    )
+    (proj / "c.py").write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "\n"
+        "def h():\n"
+        "    return 1\n"
+    )
+    (proj / "d.py").write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "\n"
+        "def unrelated():\n"
+        "    return 2\n"
+    )
+    return proj
+
+
+def test_project_cache_invalidates_transitive_callers_only(tmp_path):
+    """The acceptance behavior: a leaf edit re-analyzes only that module
+    plus its transitive callers; unrelated modules replay warm."""
+    proj = _chain_project(tmp_path / "proj")
+    cache_dir = tmp_path / "cache"
+    cold = run_lint([proj], cache=LintCache(cache_dir))
+    assert len(cold.project_reanalyzed) == 4 and cold.project_cached == []
+    warm = run_lint([proj], cache=LintCache(cache_dir))
+    assert warm.project_reanalyzed == [] and len(warm.project_cached) == 4
+    (proj / "c.py").write_text(
+        "from __future__ import annotations\n"
+        "\n"
+        "\n"
+        "def h():\n"
+        "    return 3\n"
+    )
+    third = run_lint([proj], cache=LintCache(cache_dir))
+    reanalyzed = {Path(p).name for p in third.project_reanalyzed}
+    assert reanalyzed == {"a.py", "b.py", "c.py"}
+    assert {Path(p).name for p in third.project_cached} == {"d.py"}
+
+
+def test_project_cache_replays_diagnostics_with_traces(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_lint([FIXTURES / "r13_fail"], cache=LintCache(cache_dir))
+    warm = run_lint([FIXTURES / "r13_fail"], cache=LintCache(cache_dir))
+    assert warm.project_reanalyzed == []
+    assert [d.render() for d in warm.diagnostics] == [
+        d.render() for d in cold.diagnostics
+    ]
+    [diag] = warm.diagnostics
+    assert [s.function for s in diag.trace] == [
+        s.function for s in cold.diagnostics[0].trace
+    ]
 
 
 def test_every_cli_handler_emits_exactly_one_envelope():
