@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: lint lint-fix test test-fast bench-smoke bench-engine bench-dp \
-	service-smoke verify
+	bench-solvecache service-smoke verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
 # runs the full R1-R15 rule set — per-file, whole-program and
@@ -57,6 +57,12 @@ bench-engine:
 # bit-identical (full scale: python benchmarks/bench_dp_pipeline.py).
 bench-dp:
 	$(PYTHON) benchmarks/bench_dp_pipeline.py --smoke
+
+# Persistent solve-cache benchmark at smoke scale: verifies cold,
+# disk-warm (second process) and shared-memo (--jobs 2) runs are
+# bit-identical (full scale: python benchmarks/bench_solvecache.py).
+bench-solvecache:
+	$(PYTHON) benchmarks/bench_solvecache.py --smoke
 
 # Scenario-service acceptance check: boots a real daemon on an
 # ephemeral port, drives it through the CLI, asserts daemon results are

@@ -10,8 +10,9 @@ environment variable: ``smoke`` | ``small`` (default) | ``medium`` |
 ``paper``.  Execution knobs: ``REPRO_BENCH_JOBS`` fans scenario work
 out over N worker processes (0 = one per CPU; results are bit-identical
 to serial), ``REPRO_BENCH_NO_CACHE=1`` bypasses the shared DP table
-cache, ``REPRO_BENCH_NO_MEMO=1`` the cross-trace replan memo and
-``REPRO_BENCH_NO_SHM=1`` the shared-memory trace publication — see
+cache, ``REPRO_BENCH_NO_MEMO=1`` the cross-trace replan memo,
+``REPRO_BENCH_NO_SHM=1`` the shared-memory trace publication and
+``REPRO_BENCH_NO_DISKCACHE=1`` the persistent disk solve tier — see
 ``docs/performance.md``.
 
 Archived JSON reports (``write_bench_json``) carry a ``host`` block
@@ -39,8 +40,9 @@ _SCALES = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM, "paper": PAPER}
 def apply_execution_env() -> None:
     """Install ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` /
     ``REPRO_BENCH_NO_BATCH`` / ``REPRO_BENCH_NO_MEMO`` /
-    ``REPRO_BENCH_NO_SHM`` as the process-wide execution default so
-    every driver the benchmark calls inherits them."""
+    ``REPRO_BENCH_NO_SHM`` / ``REPRO_BENCH_NO_DISKCACHE`` as the
+    process-wide execution default so every driver the benchmark calls
+    inherits them."""
     jobs = os.environ.get("REPRO_BENCH_JOBS")
     if jobs:
         set_default_execution(jobs=int(jobs))
@@ -52,6 +54,8 @@ def apply_execution_env() -> None:
         set_default_execution(use_memo=False)
     if os.environ.get("REPRO_BENCH_NO_SHM"):
         set_default_execution(use_shm=False)
+    if os.environ.get("REPRO_BENCH_NO_DISKCACHE"):
+        set_default_execution(use_disk_cache=False)
 
 
 def host_metadata() -> dict:

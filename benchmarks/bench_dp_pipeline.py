@@ -13,7 +13,11 @@ compare per-trace makespans bit-for-bit:
    scenario's traces published once through shared memory.
 
 The caches are cleared between arms so each one measures its own cold
-cost.  The full run asserts the >= 3x fast-vs-baseline speedup
+cost, and the persistent disk solve tier is disabled for the whole
+benchmark — a disk-warm arm 2 would no longer measure the in-memory
+pipeline this A/B isolates (``benchmarks/bench_solvecache.py`` measures
+the disk tier itself).  The full run asserts the >= 3x
+fast-vs-baseline speedup
 documented in ``docs/performance.md`` and archives
 ``BENCH_dp.json`` at the repo root; ``--smoke`` (CI) only checks the
 three-way bit-identity at toy sizes, which tell nothing about
@@ -64,6 +68,9 @@ def _arm(policy: DPNextFailurePolicy, scenario: dict, jobs: int,
         jobs=jobs,
         use_memo=policy.use_memo,
         use_shm=use_shm,
+        # each arm must pay its own in-memory cold cost; a persistent
+        # tier would hand arms 2 and 3 the solves arm 1 just paid for
+        use_disk_cache=False,
     )
     elapsed = time.perf_counter() - t0
     return {

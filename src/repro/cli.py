@@ -31,8 +31,9 @@ Durations accept suffixes: ``s`` (default), ``m``, ``h``, ``d``, ``w``,
 
 Scenario-running subcommands take ``--jobs N`` (fan scenario work out
 over ``N`` worker processes; 0 = one per CPU; results are bit-identical
-to ``--jobs 1``) plus the ``--no-cache/--no-batch/--no-memo/--no-shm``
-escape hatches — see ``docs/performance.md``.
+to ``--jobs 1``) plus the
+``--no-cache/--no-batch/--no-memo/--no-shm/--no-disk-cache`` escape
+hatches — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -204,6 +205,7 @@ def _execution_dict(args: argparse.Namespace) -> dict[str, Any]:
         ("no_batch", "use_batch"),
         ("no_memo", "use_memo"),
         ("no_shm", "use_shm"),
+        ("no_disk_cache", "use_disk_cache"),
     ):
         if getattr(args, flag, False):
             out[key] = False
@@ -230,7 +232,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     }
     hlog(f"done in {result.elapsed:.2f}s "
          f"(cache {result.cache_hits}/{result.cache_hits + result.cache_misses},"
-         f" memo {result.memo_hits}/{result.memo_hits + result.memo_misses})")
+         f" memo {result.memo_hits}/{result.memo_hits + result.memo_misses},"
+         f" disk {result.disk_hits}/{result.disk_hits + result.disk_misses})")
     return emit(envelope("run", data))
 
 
@@ -294,9 +297,11 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
         "warm_seconds": warm_s,
         "warm_speedup": (cold_s / warm_s) if warm_s > 0 else None,
         "cold": {"cache_hits": cold.cache_hits, "cache_misses": cold.cache_misses,
-                 "memo_hits": cold.memo_hits, "memo_misses": cold.memo_misses},
+                 "memo_hits": cold.memo_hits, "memo_misses": cold.memo_misses,
+                 "disk_hits": cold.disk_hits, "disk_misses": cold.disk_misses},
         "warm": {"cache_hits": warm.cache_hits, "cache_misses": warm.cache_misses,
-                 "memo_hits": warm.memo_hits, "memo_misses": warm.memo_misses},
+                 "memo_hits": warm.memo_hits, "memo_misses": warm.memo_misses,
+                 "disk_hits": warm.disk_hits, "disk_misses": warm.disk_misses},
         "n_jobs": cold.n_jobs,
     }
     hlog(f"benchmark: warm {warm_s:.2f}s "
@@ -749,13 +754,21 @@ def cmd_result(args: argparse.Namespace) -> int:
 
 
 def cmd_store(args: argparse.Namespace) -> int:
+    from repro.core.diskcache import DiskSolveCache
     from repro.service.store import ResultStore
 
-    store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+    base = Path(args.store_dir) if args.store_dir else None
+    store = ResultStore(base)
+    wiped: dict[str, int] = {}
     if args.wipe:
-        removed = store.wipe()
-        hlog(f"removed {removed} archived result(s) from {store.root}")
-        return emit(envelope("store", {"wiped": removed, **store.stats()}))
+        wiped["wiped"] = store.wipe()
+        hlog(f"removed {wiped['wiped']} archived result(s) from {store.root}")
+    if args.wipe_solves:
+        wiped["wiped_solves"] = DiskSolveCache(root=base).wipe()
+        hlog(f"removed {wiped['wiped_solves']} persisted solve(s) from "
+             f"the solvecache tier")
+    if wiped:
+        return emit(envelope("store", {**wiped, **store.stats()}))
     data = store.stats()
     if args.entries:
         data["entry_list"] = [
@@ -769,6 +782,12 @@ def cmd_store(args: argparse.Namespace) -> int:
         ]
     hlog(f"{data['entries']} entr{'y' if data['entries'] == 1 else 'ies'}, "
          f"{data['total_hits']} hit(s) at {data['root']}")
+    solves = data.get("solvecache") or {}
+    lifetime = solves.get("lifetime") or {}
+    hlog(f"solvecache: {solves.get('entries', 0)} entr"
+         f"{'y' if solves.get('entries', 0) == 1 else 'ies'}, "
+         f"{solves.get('bytes', 0)} byte(s), lifetime hit rate "
+         f"{lifetime.get('hit_rate', 0.0):.0%}")
     return emit(envelope("store", data))
 
 
@@ -796,12 +815,16 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                    help="disable shared-memory trace publication; "
                         "parallel workers regenerate traces per work "
                         "unit (bit-identical results)")
+    p.add_argument("--no-disk-cache", action="store_true",
+                   help="bypass the persistent disk solve tier under "
+                        ".repro-service/solvecache/ (bit-identical "
+                        "results; every solve stays in-process)")
 
 
 def _apply_execution_flags(args: argparse.Namespace) -> None:
-    """Install --jobs/--no-cache/--no-batch/--no-memo/--no-shm as the
-    process-wide execution default so every driver underneath the
-    command inherits them."""
+    """Install --jobs/--no-cache/--no-batch/--no-memo/--no-shm/
+    --no-disk-cache as the process-wide execution default so every
+    driver underneath the command inherits them."""
     from repro.simulation.parallel import set_default_execution
 
     set_default_execution(
@@ -810,6 +833,9 @@ def _apply_execution_flags(args: argparse.Namespace) -> None:
         use_batch=False if getattr(args, "no_batch", False) else None,
         use_memo=False if getattr(args, "no_memo", False) else None,
         use_shm=False if getattr(args, "no_shm", False) else None,
+        use_disk_cache=(
+            False if getattr(args, "no_disk_cache", False) else None
+        ),
     )
 
 
@@ -1014,6 +1040,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument("--wipe", action="store_true",
                          help="delete every archived result of the "
                               "current code version")
+    p_store.add_argument("--wipe-solves", action="store_true",
+                         help="delete every persisted DP/replan solve "
+                              "(all code versions) from the solvecache "
+                              "tier")
     p_store.set_defaults(func=cmd_store)
 
     return parser

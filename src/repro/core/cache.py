@@ -33,6 +33,17 @@ fork time and populate their own copies afterwards; per-work-unit
 hit/miss deltas are shipped back and aggregated into
 ``ScenarioResult.cache_hits`` / ``cache_misses``.
 
+Both stores are **L1** of a two-level hierarchy: on an L1 miss the
+keyed wrappers consult the persistent disk tier
+(:mod:`repro.core.diskcache` — content-addressed files under
+``.repro-service/solvecache/``, shared across processes, runs and
+hosts) before solving cold, and publish fresh solves back to it.  A
+disk hit is bit-identical to a cold solve (NumPy's binary format
+round-trips the tables exactly), so the tier never changes results —
+only who pays the solve.  ``use_disk_cache=False`` (the
+``--no-disk-cache`` / ``REPRO_BENCH_NO_DISKCACHE`` escape hatches)
+bypasses it entirely.
+
 Replan memo
 -----------
 A second process-wide store, the **replan memo**, sits one level above
@@ -143,6 +154,38 @@ class DPTableCache:
             self.hits = 0
             self.misses = 0
 
+    def snapshot_keys(self) -> frozenset:
+        """The current key set (cheap; used to compute export deltas)."""
+        with self._lock:
+            return frozenset(self._data)
+
+    def export_entries(self, exclude: frozenset = frozenset()) -> list:
+        """``(key, value)`` pairs not in ``exclude`` — the delta a
+        runner worker ships back to the parent at work-unit exit."""
+        with self._lock:
+            return [
+                (key, value)
+                for key, value in self._data.items()
+                if key not in exclude
+            ]
+
+    def merge_entries(self, items) -> int:
+        """Insert foreign ``(key, value)`` pairs (missing keys only);
+        returns how many were new.  Counters are untouched — a merge is
+        transport, not a lookup."""
+        if not self.enabled:
+            return 0
+        added = 0
+        with self._lock:
+            for key, value in items:
+                if key not in self._data:
+                    self._data[key] = value
+                    self._data.move_to_end(key)
+                    added += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return added
+
     def stats(self) -> CacheStats:
         """Snapshot of the hit/miss counters and current size."""
         with self._lock:
@@ -200,8 +243,13 @@ def cached_dp_makespan(
     """Memoized :func:`repro.core.dp_makespan.dp_makespan`.
 
     The key is the full scenario tuple, so any two calls that would
-    solve the same DP share one table.
+    solve the same DP share one table.  An L1 miss consults the
+    persistent disk tier before solving cold, and publishes a cold
+    solve back to it (:mod:`repro.core.diskcache`).  With the L1 cache
+    *disabled* the disk tier is bypassed too: ``--no-cache`` keeps its
+    meaning of measuring the true uncached solve cost.
     """
+    from repro.core import diskcache
     from repro.core.dp_makespan import dp_makespan
 
     key = (
@@ -214,9 +262,22 @@ def cached_dp_makespan(
         float(u),
         float(tau0),
     )
-    return _CACHE.get_or_compute(
-        key,
-        lambda: dp_makespan(
+
+    def compute():
+        if not _CACHE.enabled:
+            return dp_makespan(
+                work=work,
+                checkpoint=checkpoint,
+                downtime=downtime,
+                recovery=recovery,
+                dist=dist,
+                u=u,
+                tau0=tau0,
+            )
+        stored = diskcache.load_dp_makespan(key)
+        if stored is not None:
+            return stored
+        result = dp_makespan(
             work=work,
             checkpoint=checkpoint,
             downtime=downtime,
@@ -224,8 +285,11 @@ def cached_dp_makespan(
             dist=dist,
             u=u,
             tau0=tau0,
-        ),
-    )
+        )
+        diskcache.store_dp_makespan(key, result)
+        return result
+
+    return _CACHE.get_or_compute(key, compute)
 
 
 def cached_dp_next_failure_parallel(
@@ -339,7 +403,16 @@ def cached_replan(
     every parameter that shapes the solve.  Because the key captures the
     full input of ``solve`` and results are immutable, a hit is
     bit-identical to a cold solve by construction.
+
+    An L1 (memo) miss consults the persistent disk tier before calling
+    ``solve`` — this is how parallel runner workers share one memo:
+    the first worker to solve a signature persists it, every later
+    worker's L1 miss becomes a disk hit instead of a duplicate solve.
+    With the memo *disabled* the disk tier is bypassed too, so
+    ``--no-memo`` still measures the true uncached replan cost.
     """
+    from repro.core import diskcache
+
     key = (
         "replan",
         dist.cache_key(),
@@ -351,4 +424,15 @@ def cached_replan(
         bool(compress),
         ages.tobytes(),
     )
-    return _REPLAN_MEMO.get_or_compute(key, solve)
+
+    def compute():
+        if not _REPLAN_MEMO.enabled:
+            return solve()
+        stored = diskcache.load_replan(key)
+        if stored is not None:
+            return stored
+        result = solve()
+        diskcache.store_replan(key, result)
+        return result
+
+    return _REPLAN_MEMO.get_or_compute(key, compute)

@@ -428,7 +428,16 @@ class _FunctionScanner(ast.NodeVisitor):
 
 # Fast-path knobs whose gating branches R14 audits: each selects a
 # bit-identical accelerated implementation with a reference escape hatch.
-KNOB_NAMES = frozenset({"use_batch", "use_memo", "use_shm", "use_cache", "vectorized"})
+KNOB_NAMES = frozenset(
+    {
+        "use_batch",
+        "use_memo",
+        "use_shm",
+        "use_cache",
+        "use_disk_cache",
+        "vectorized",
+    }
+)
 
 
 def _knob_test(expr: ast.expr) -> tuple[str, bool] | None:

@@ -127,7 +127,10 @@ class ResourceLifecycleRule:
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_shm(ctx, node, helpers)
-                if ctx.in_package("service") or ctx.path.name == "store.py":
+                if ctx.in_package("service") or ctx.path.name in (
+                    "store.py",
+                    "diskcache.py",
+                ):
                     yield from self._check_atomic_write(ctx, node)
             elif isinstance(node, ast.ClassDef):
                 yield from self._check_class_resources(ctx, node)

@@ -46,6 +46,7 @@ class ExecutionOptions:
     use_batch: bool | None = None
     use_memo: bool | None = None
     use_shm: bool | None = None
+    use_disk_cache: bool | None = None
 
     @classmethod
     def from_dict(cls, raw: dict[str, Any] | None) -> "ExecutionOptions":
@@ -189,6 +190,7 @@ class JobQueue:
                 use_batch=job.execution.use_batch,
                 use_memo=job.execution.use_memo,
                 use_shm=job.execution.use_shm,
+                use_disk_cache=job.execution.use_disk_cache,
                 progress=on_progress,
             )
             result_doc = scenario_result_to_dict(result)

@@ -292,6 +292,7 @@ class ScenarioSpec:
         use_batch: bool | None = None,
         use_memo: bool | None = None,
         use_shm: bool | None = None,
+        use_disk_cache: bool | None = None,
         progress: Callable[[int, int], None] | None = None,
     ) -> "ScenarioResult":
         """Execute this scenario on the PR-1/4/5 execution tier.
@@ -317,5 +318,6 @@ class ScenarioSpec:
             use_batch=use_batch,
             use_memo=use_memo,
             use_shm=use_shm,
+            use_disk_cache=use_disk_cache,
             progress=progress,
         )

@@ -11,6 +11,9 @@ CI runs and hosts.  The layout mirrors ``.reprolint-cache/``:
       store/
         <code-hash>/            one directory per code version
           <sig[:2]>/<sig>.json  one entry per scenario signature
+      solvecache/               sibling tier: persistent DP/replan
+        <code-hash>/            solves (:mod:`repro.core.diskcache`),
+          <kind>/<d[:2]>/<d>.npz  salted by the same store_version()
 
 Each entry is a single JSON document carrying the spec (for
 inspection), the serialized result, and a **hit counter** that the
@@ -100,7 +103,7 @@ def store_version() -> str:
 
 def default_store_dir() -> Path:
     """``$REPRO_SERVICE_DIR`` or ``.repro-service`` under the CWD."""
-    env = os.environ.get("REPRO_SERVICE_DIR")
+    env = os.environ.get("REPRO_SERVICE_DIR")  # reprolint: clock-ok=cache/store location only, never feeds a result
     return Path(env) if env else Path.cwd() / _STORE_DIR_NAME
 
 
@@ -139,6 +142,7 @@ class ResultStore:
 
     def __init__(self, root: Path | None = None):
         base = Path(root) if root is not None else default_store_dir()
+        self._base = base
         self.root = base / "store" / store_version()
 
     # -- paths ---------------------------------------------------------
@@ -221,17 +225,27 @@ class ResultStore:
                 yield entry
 
     def stats(self) -> dict[str, Any]:
-        """Aggregate counters for the status/store JSON."""
+        """Aggregate counters for the status/store JSON, including the
+        sibling persistent solve tier (the daemon and every CLI process
+        share both through the same ``.repro-service/`` root)."""
         n = 0
         hits = 0
         for entry in self.entries():
             n += 1
             hits += entry.hits
+        from repro.core.diskcache import DiskSolveCache, get_disk_cache
+
+        # the process-wide cache when it shares this store's base (live
+        # counters), else a read view rooted beside this store
+        disk = get_disk_cache()
+        if disk.tier_root.parent != self._base:
+            disk = DiskSolveCache(root=self._base)
         return {
             "root": str(self.root),
             "store_version": store_version(),
             "entries": n,
             "total_hits": hits,
+            "solvecache": disk.usage(),
         }
 
     def wipe(self) -> int:

@@ -41,7 +41,22 @@ DP table caching is controlled per run (``use_cache``) and observable:
 workers return per-unit hit/miss deltas of :mod:`repro.core.cache`,
 aggregated into ``ScenarioResult.cache_hits`` / ``cache_misses``.  The
 DPNextFailure replan memo (``use_memo``) is handled the same way, with
-deltas aggregated into ``memo_hits`` / ``memo_misses``.
+deltas aggregated into ``memo_hits`` / ``memo_misses``.  Because those
+sums add up *per-worker* counters, a signature solved independently by
+N workers contributes N misses; ``ScenarioResult.memo_unique_misses``
+reports the deduplicated view — the number of distinct memo entries
+actually solved — so shared-memo gains are visible rather than drowned
+in double counts.
+
+The persistent disk tier (``use_disk_cache``,
+:mod:`repro.core.diskcache`) sits below both in-memory caches: workers
+report per-unit disk hit/miss/evict deltas, aggregated into
+``ScenarioResult.disk_hits`` / ``disk_misses`` / ``disk_evictions``.
+With ``jobs > 1`` the replan memo is additionally **shared across
+workers**: each work unit ships the memo entries it added back to the
+parent, which merges them (:func:`repro.simulation.shm.merge_memo_delta`)
+so later phases fork warm, while the disk tier shares solves between
+workers inside a phase.
 
 Shared-memory trace publication (``use_shm``, default on): with
 ``jobs > 1`` the parent generates all traces and compiles the scenario
@@ -72,6 +87,11 @@ from repro.core.cache import (
     get_cache,
     get_replan_memo,
     replan_memo_stats,
+)
+from repro.core.diskcache import (
+    configure_disk_cache,
+    disk_cache_stats,
+    get_disk_cache,
 )
 from repro.simulation import shm as _shm
 from repro.policies.base import PeriodicPolicy
@@ -106,7 +126,9 @@ class ExecutionConfig:
     consult the DPNextFailure replan memo (:mod:`repro.core.cache`).
     ``use_shm``: publish traces/ensembles to workers via shared memory
     (:mod:`repro.simulation.shm`); falls back to per-task regeneration
-    on any failure.  All four toggles leave results bit-identical.
+    on any failure.  ``use_disk_cache``: consult the persistent disk
+    solve tier (:mod:`repro.core.diskcache`) under the in-memory
+    caches.  All five toggles leave results bit-identical.
     """
 
     jobs: int = 1
@@ -115,6 +137,7 @@ class ExecutionConfig:
     use_batch: bool = True
     use_memo: bool = True
     use_shm: bool = True
+    use_disk_cache: bool = True
 
 
 _DEFAULT = ExecutionConfig()
@@ -132,6 +155,7 @@ def set_default_execution(
     use_batch: bool | None = None,
     use_memo: bool | None = None,
     use_shm: bool | None = None,
+    use_disk_cache: bool | None = None,
 ) -> None:
     """Set process-wide execution defaults (CLI flags, benchmark env)."""
     if jobs is not None:
@@ -146,6 +170,8 @@ def set_default_execution(
         _DEFAULT.use_memo = bool(use_memo)
     if use_shm is not None:
         _DEFAULT.use_shm = bool(use_shm)
+    if use_disk_cache is not None:
+        _DEFAULT.use_disk_cache = bool(use_disk_cache)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -234,6 +260,8 @@ class _TraceTask:
     use_cache: bool
     use_batch: bool = True
     use_memo: bool = True
+    use_disk_cache: bool = True
+    collect_memo_delta: bool = False
     layout: object | None = None
 
 
@@ -249,13 +277,22 @@ class _TraceTaskResult:
     cache_misses: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    # replan-memo entries this unit added (shipped back for the parent
+    # to merge; empty unless collect_memo_delta was set)
+    memo_delta: list = field(default_factory=list)
 
 
 def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
     configure_cache(enabled=task.use_cache)
     configure_replan_memo(enabled=task.use_memo)
+    configure_disk_cache(enabled=task.use_disk_cache)
     before = cache_stats()
     memo_before = replan_memo_stats()
+    disk_before = disk_cache_stats()
+    memo_keys = _shm.memo_snapshot() if task.collect_memo_delta else None
     platform = task.platform
     per_policy: dict[str, list[tuple[float, object]]] = {}
     infeasible: dict[str, list[int]] = {}
@@ -315,6 +352,9 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
             ]
     after = cache_stats()
     memo_after = replan_memo_stats()
+    disk_after = disk_cache_stats()
+    # persist hit counters a hit-only worker would otherwise never flush
+    get_disk_cache().flush_counters()
     return _TraceTaskResult(
         indices=list(task.indices),
         per_policy=per_policy,
@@ -324,6 +364,12 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
         cache_misses=after.misses - before.misses,
         memo_hits=memo_after.hits - memo_before.hits,
         memo_misses=memo_after.misses - memo_before.misses,
+        disk_hits=disk_after.hits - disk_before.hits,
+        disk_misses=disk_after.misses - disk_before.misses,
+        disk_evictions=disk_after.evictions - disk_before.evictions,
+        memo_delta=(
+            _shm.export_memo_delta(memo_keys) if memo_keys is not None else []
+        ),
     )
 
 
@@ -343,16 +389,32 @@ class _PeriodTask:
     use_cache: bool
     use_batch: bool = True
     use_memo: bool = True
+    use_disk_cache: bool = True
+    collect_memo_delta: bool = False
     layout: object | None = None
 
 
-def _run_period_task(
-    task: _PeriodTask,
-) -> tuple[list[float], int, int, int, int]:
+@dataclass
+class _PeriodTaskResult:
+    means: list[float]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    memo_delta: list = field(default_factory=list)
+
+
+def _run_period_task(task: _PeriodTask) -> _PeriodTaskResult:
     configure_cache(enabled=task.use_cache)
     configure_replan_memo(enabled=task.use_memo)
+    configure_disk_cache(enabled=task.use_disk_cache)
     before = cache_stats()
     memo_before = replan_memo_stats()
+    disk_before = disk_cache_stats()
+    memo_keys = _shm.memo_snapshot() if task.collect_memo_delta else None
     platform = task.platform
     # The compiled ensemble is period-independent: one compilation is
     # amortized over the entire candidate sweep of this work unit.
@@ -386,12 +448,21 @@ def _run_period_task(
         means.append(float(np.mean(spans)))
     after = cache_stats()
     memo_after = replan_memo_stats()
-    return (
-        means,
-        after.hits - before.hits,
-        after.misses - before.misses,
-        memo_after.hits - memo_before.hits,
-        memo_after.misses - memo_before.misses,
+    disk_after = disk_cache_stats()
+    # persist hit counters a hit-only worker would otherwise never flush
+    get_disk_cache().flush_counters()
+    return _PeriodTaskResult(
+        means=means,
+        cache_hits=after.hits - before.hits,
+        cache_misses=after.misses - before.misses,
+        memo_hits=memo_after.hits - memo_before.hits,
+        memo_misses=memo_after.misses - memo_before.misses,
+        disk_hits=disk_after.hits - disk_before.hits,
+        disk_misses=disk_after.misses - disk_before.misses,
+        disk_evictions=disk_after.evictions - disk_before.evictions,
+        memo_delta=(
+            _shm.export_memo_delta(memo_keys) if memo_keys is not None else []
+        ),
     )
 
 
@@ -430,6 +501,11 @@ class ParallelRunner:
         reads the default.  Only engaged with ``jobs > 1``; falls back
         to per-task regeneration on any failure.  Bit-identical either
         way (``--no-shm`` forces regeneration).
+    use_disk_cache:
+        Consult the persistent disk solve tier below the in-memory
+        caches; None reads the default (``--no-disk-cache`` disables).
+        Bit-identical either way — the disk tier only changes which
+        process pays for a solve.
     progress:
         Optional callback ``progress(done, total)`` invoked after every
         completed work unit (trace batch, period batch, winner batch).
@@ -447,6 +523,7 @@ class ParallelRunner:
         use_batch: bool | None = None,
         use_memo: bool | None = None,
         use_shm: bool | None = None,
+        use_disk_cache: bool | None = None,
         progress: Callable[[int, int], None] | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
@@ -463,6 +540,11 @@ class ParallelRunner:
             _DEFAULT.use_memo if use_memo is None else bool(use_memo)
         )
         self.use_shm = _DEFAULT.use_shm if use_shm is None else bool(use_shm)
+        self.use_disk_cache = (
+            _DEFAULT.use_disk_cache
+            if use_disk_cache is None
+            else bool(use_disk_cache)
+        )
         self.progress = progress
         self._units_done = 0
         self._units_total = 0
@@ -525,8 +607,10 @@ class ParallelRunner:
         self._units_total = 0
         prior_enabled = get_cache().enabled
         prior_memo = get_replan_memo().enabled
+        prior_disk = get_disk_cache().enabled
         configure_cache(enabled=self.use_cache)
         configure_replan_memo(enabled=self.use_memo)
+        configure_disk_cache(enabled=self.use_disk_cache)
         try:
             return self._run(
                 policies,
@@ -546,6 +630,7 @@ class ParallelRunner:
         finally:
             configure_cache(enabled=prior_enabled)
             configure_replan_memo(enabled=prior_memo)
+            configure_disk_cache(enabled=prior_disk)
 
     def _run(
         self,
@@ -636,6 +721,26 @@ class ParallelRunner:
 
         hits = misses = 0
         memo_hits = memo_misses = 0
+        disk_hits = disk_misses = disk_evictions = 0
+        # With several workers, each unit ships back the memo entries it
+        # added; the parent merges them so later phases fork warm, and
+        # the union of delta keys is the deduplicated miss count.
+        collect_delta = self.jobs > 1 and self.use_memo
+        merged_keys: set = set()
+
+        def _absorb(res) -> None:
+            nonlocal hits, misses, memo_hits, memo_misses
+            nonlocal disk_hits, disk_misses, disk_evictions
+            hits += res.cache_hits
+            misses += res.cache_misses
+            memo_hits += res.memo_hits
+            memo_misses += res.memo_misses
+            disk_hits += res.disk_hits
+            disk_misses += res.disk_misses
+            disk_evictions += res.disk_evictions
+            if res.memo_delta:
+                _shm.merge_memo_delta(res.memo_delta)
+                merged_keys.update(key for key, _value in res.memo_delta)
 
         indices = list(range(n_traces))
         tasks = [
@@ -652,6 +757,8 @@ class ParallelRunner:
                 use_cache=self.use_cache,
                 use_batch=self.use_batch,
                 use_memo=self.use_memo,
+                use_disk_cache=self.use_disk_cache,
+                collect_memo_delta=collect_delta,
                 layout=layout,
             )
             for batch in self._trace_batches(indices)
@@ -665,10 +772,7 @@ class ParallelRunner:
         infeasible: dict[str, list[int]] = {}
         lb_spans = np.full(n_traces, np.nan)
         for res in results:
-            hits += res.cache_hits
-            misses += res.cache_misses
-            memo_hits += res.memo_hits
-            memo_misses += res.memo_misses
+            _absorb(res)
             for name, pairs in res.per_policy.items():
                 for index, (span, det) in zip(res.indices, pairs):
                     makespans[name][index] = span
@@ -711,19 +815,16 @@ class ParallelRunner:
                     use_cache=self.use_cache,
                     use_batch=self.use_batch,
                     use_memo=self.use_memo,
+                    use_disk_cache=self.use_disk_cache,
+                    collect_memo_delta=collect_delta,
                     layout=layout,
                 )
                 for batch in _chunk(list(periods), per_unit)
             ]
             means: list[float] = []
-            for batch_means, h, m, mh, mm in self._map(
-                _run_period_task, period_tasks
-            ):
-                means.extend(batch_means)
-                hits += h
-                misses += m
-                memo_hits += mh
-                memo_misses += mm
+            for period_res in self._map(_run_period_task, period_tasks):
+                means.extend(period_res.means)
+                _absorb(period_res)
             best = int(np.argmin(means))
             best_period = float(periods[best])
 
@@ -741,16 +842,15 @@ class ParallelRunner:
                     use_cache=self.use_cache,
                     use_batch=self.use_batch,
                     use_memo=self.use_memo,
+                    use_disk_cache=self.use_disk_cache,
+                    collect_memo_delta=collect_delta,
                     layout=layout,
                 )
                 for batch in self._trace_batches(indices)
             ]
             lb_period_spans = np.full(n_traces, np.nan)
             for res in self._map(_run_trace_task, winner_tasks):
-                hits += res.cache_hits
-                misses += res.cache_misses
-                memo_hits += res.memo_hits
-                memo_misses += res.memo_misses
+                _absorb(res)
                 for index, (span, _det) in zip(res.indices, res.per_policy[PERIOD_LB]):
                     lb_period_spans[index] = span
             makespans[PERIOD_LB] = lb_period_spans
@@ -767,4 +867,10 @@ class ParallelRunner:
             cache_misses=misses,
             memo_hits=memo_hits,
             memo_misses=memo_misses,
+            memo_unique_misses=(
+                len(merged_keys) if collect_delta else memo_misses
+            ),
+            disk_hits=disk_hits,
+            disk_misses=disk_misses,
+            disk_evictions=disk_evictions,
         )

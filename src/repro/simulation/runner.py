@@ -66,7 +66,19 @@ class ScenarioResult:
     memo_hits / memo_misses:
         DPNextFailure replan-memo lookups observed during the run,
         aggregated over all workers; both zero when no adaptive policy
-        ran or the memo was disabled (``use_memo=False``).
+        ran or the memo was disabled (``use_memo=False``).  The sums
+        are *per-worker* counters: a signature solved independently by
+        N workers contributes N misses.
+    memo_unique_misses:
+        The deduplicated miss count — how many *distinct* replan
+        signatures were actually solved during the run (the union of
+        the workers' memo deltas; equal to ``memo_misses`` on serial
+        runs, where every miss is already unique).  The gap between
+        ``memo_misses`` and this number is pure double-counting.
+    disk_hits / disk_misses / disk_evictions:
+        Persistent solve-tier activity (:mod:`repro.core.diskcache`)
+        during the run, aggregated over all workers; all zero when the
+        tier is disabled (``use_disk_cache=False``).
     """
 
     makespans: dict[str, np.ndarray]
@@ -80,6 +92,10 @@ class ScenarioResult:
     cache_misses: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    memo_unique_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
 
     def policy_names(self) -> list[str]:
         """Every recorded policy, including LowerBound/PeriodLB."""
@@ -111,6 +127,7 @@ def run_scenarios(
     use_batch: bool | None = None,
     use_memo: bool | None = None,
     use_shm: bool | None = None,
+    use_disk_cache: bool | None = None,
     progress: Callable[[int, int], None] | None = None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
@@ -133,6 +150,9 @@ def run_scenarios(
     cross-trace DPNextFailure replan memo and ``use_shm=False`` the
     shared-memory trace publication (parallel runs then regenerate
     traces per work unit) — again without changing any result.
+    ``use_disk_cache=False`` bypasses the persistent disk solve tier
+    (:mod:`repro.core.diskcache`) below the in-memory caches — the
+    tier only moves solves between processes, never changes them.
     ``progress`` is an optional ``(done, total)`` work-unit callback
     (see :class:`~repro.simulation.parallel.ParallelRunner`).
     """
@@ -147,6 +167,7 @@ def run_scenarios(
         use_batch=use_batch,
         use_memo=use_memo,
         use_shm=use_shm,
+        use_disk_cache=use_disk_cache,
         progress=progress,
     )
     return runner.run(

@@ -13,6 +13,36 @@ from repro.distributions import Empirical, Exponential, Gamma, LogNormal, Weibul
 from repro.units import DAY, HOUR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _service_dir_backstop(tmp_path_factory):
+    """Session-wide ``REPRO_SERVICE_DIR`` so *nothing* — including
+    module-scoped fixtures, which run before any function-scoped
+    fixture can patch the environment — writes a ``.repro-service/``
+    under the repository root."""
+    import os
+
+    path = tmp_path_factory.mktemp("repro-service-session")
+    prior = os.environ.get("REPRO_SERVICE_DIR")
+    os.environ["REPRO_SERVICE_DIR"] = str(path)
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_SERVICE_DIR", None)
+    else:
+        os.environ["REPRO_SERVICE_DIR"] = prior
+
+
+@pytest.fixture(autouse=True)
+def _isolated_service_dir(tmp_path, monkeypatch):
+    """Point every test at a private ``.repro-service/`` root.
+
+    The persistent solve tier (:mod:`repro.core.diskcache`) and the
+    result store both resolve their location from ``REPRO_SERVICE_DIR``
+    (or the CWD); a per-test directory keeps disk-warm solves from
+    leaking between tests that count solves or cache misses."""
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / ".repro-service"))
+    yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,245 @@
+"""Persistent disk solve cache: bit-identity, corruption fallback,
+concurrency, version rollover, eviction and the disabled slow path."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.cache import cached_dp_makespan, cached_replan, clear_cache
+from repro.core.diskcache import (
+    DiskSolveCache,
+    key_digest,
+    load_dp_makespan,
+)
+from repro.distributions import Exponential, Weibull
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskSolveCache(root=tmp_path)
+
+
+def _arrays(seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "table": rng.standard_normal((7, 5)),
+        "scalar": np.float64(rng.standard_normal()),
+    }
+
+
+KEY = ("kind-test", 1.5, 3, True, ("nested", 2.0))
+
+
+class TestRoundTrip:
+    def test_store_then_load_bit_identical(self, cache):
+        arrays = _arrays()
+        assert cache.store("dp", KEY, arrays)
+        loaded = cache.load("dp", KEY)
+        assert loaded is not None
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(loaded[name], arrays[name])
+            assert loaded[name].dtype == np.asarray(arrays[name]).dtype
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.load("dp", KEY) is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+
+    def test_kinds_do_not_collide(self, cache):
+        cache.store("a", KEY, _arrays(1))
+        assert cache.load("b", KEY) is None
+
+    def test_counters(self, cache):
+        cache.store("dp", KEY, _arrays())
+        cache.load("dp", KEY)
+        cache.load("dp", ("other",))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_disabled_is_a_noop(self, cache):
+        cache.enabled = False
+        assert not cache.store("dp", KEY, _arrays())
+        assert cache.load("dp", KEY) is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (0, 0, 0)
+
+
+class TestKeyDigest:
+    def test_distinct_types_distinct_digests(self):
+        # bool is an int subclass; 1.0 == 1 — the canonical encoding
+        # must still tell them apart
+        assert key_digest("k", (1,)) != key_digest("k", (True,))
+        assert key_digest("k", (1,)) != key_digest("k", (1.0,))
+        assert key_digest("k", ("1",)) != key_digest("k", (1,))
+
+    def test_nesting_is_not_flattened(self):
+        assert key_digest("k", (("a", "b"),)) != key_digest("k", ("a", "b"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            key_digest("k", (object(),))
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_silent_miss(self, cache):
+        cache.store("dp", KEY, _arrays())
+        path = cache._entry_path("dp", key_digest("dp", KEY))
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.load("dp", KEY) is None
+        # the corrupt file was removed so a future solve rebuilds it
+        assert not path.exists()
+
+    def test_garbage_entry_is_a_silent_miss(self, cache):
+        cache.store("dp", KEY, _arrays())
+        path = cache._entry_path("dp", key_digest("dp", KEY))
+        path.write_bytes(b"this is not an npz document")
+        assert cache.load("dp", KEY) is None
+        assert not path.exists()
+
+    def test_wrong_digest_is_a_miss(self, cache):
+        """An entry copied onto the wrong address must not be served."""
+        cache.store("dp", KEY, _arrays())
+        src = cache._entry_path("dp", key_digest("dp", KEY))
+        other = ("unrelated", 9)
+        dst = cache._entry_path("dp", key_digest("dp", other))
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(src.read_bytes())
+        assert cache.load("dp", other) is None
+
+
+def _concurrent_writer(args):
+    root, seed = args
+    cache = DiskSolveCache(root=root)
+    return cache.store("dp", KEY, _arrays())  # same key, same content
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_writes_both_succeed(self, tmp_path):
+        with multiprocessing.Pool(2) as pool:
+            results = pool.map(
+                _concurrent_writer, [(tmp_path, 0), (tmp_path, 0)]
+            )
+        assert results == [True, True]
+        cache = DiskSolveCache(root=tmp_path)
+        loaded = cache.load("dp", KEY)
+        assert loaded is not None
+        assert np.array_equal(loaded["table"], _arrays()["table"])
+
+    def test_no_temp_litter_after_store(self, cache):
+        cache.store("dp", KEY, _arrays())
+        litter = [
+            p for p in cache.root.rglob(".tmp-*") if p.is_file()
+        ]
+        assert litter == []
+
+
+class TestVersionRollover:
+    def test_stale_version_dirs_are_pruned_on_store(self, tmp_path):
+        stale = tmp_path / "solvecache" / "deadbeefdeadbeef"
+        stale.mkdir(parents=True)
+        (stale / "old.npz").write_bytes(b"stale")
+        cache = DiskSolveCache(root=tmp_path)
+        cache.store("dp", KEY, _arrays())
+        assert not stale.exists()
+        assert cache.load("dp", KEY) is not None
+
+    def test_wipe_removes_all_versions(self, tmp_path):
+        cache = DiskSolveCache(root=tmp_path)
+        cache.store("dp", KEY, _arrays())
+        # a stale version appearing after the store's one-shot prune
+        stale = tmp_path / "solvecache" / "deadbeefdeadbeef"
+        stale.mkdir(parents=True)
+        (stale / "old.npz").write_bytes(b"stale")
+        assert cache.wipe() == 2  # the stale entry + the live one
+        assert cache.load("dp", KEY) is None
+        assert not stale.exists()
+
+
+class TestEviction:
+    def test_lru_eviction_under_byte_budget(self, tmp_path):
+        cache = DiskSolveCache(root=tmp_path, max_bytes=1)
+        cache.store("dp", ("a",), _arrays(1))
+        cache.store("dp", ("b",), _arrays(2))
+        # a 1-byte budget can hold nothing: every store evicts
+        assert cache.stats().evictions >= 1
+
+    def test_usage_reports_entries_and_bytes(self, cache):
+        cache.store("dp", ("a",), _arrays(1))
+        cache.store("replan", ("b",), _arrays(2))
+        usage = cache.usage()
+        assert usage["entries"] == 2
+        assert usage["bytes"] > 0
+        assert usage["kinds"]["dp"]["entries"] == 1
+        assert usage["kinds"]["replan"]["entries"] == 1
+        assert usage["lifetime"]["stores"] == 2
+
+    def test_lifetime_counters_persist_across_instances(self, tmp_path):
+        a = DiskSolveCache(root=tmp_path)
+        a.store("dp", KEY, _arrays())
+        a.load("dp", KEY)
+        a.usage()  # flush
+        b = DiskSolveCache(root=tmp_path)
+        lifetime = b.usage()["lifetime"]
+        assert lifetime["stores"] == 1
+        assert lifetime["hits"] == 1
+
+
+class TestSolverCodecs:
+    """The dp_makespan / replan payloads round-trip bit-exactly."""
+
+    def test_dp_makespan_disk_warm_bit_identical(self):
+        dist = Weibull.from_mtbf(DAY, 0.7)
+        kwargs = dict(
+            work=2 * HOUR, checkpoint=600.0, downtime=60.0,
+            recovery=600.0, dist=dist, u=120.0,
+        )
+        cold = cached_dp_makespan(**kwargs)
+        clear_cache()  # L1 gone; the next call must come from disk
+        warm = cached_dp_makespan(**kwargs)
+        assert warm.expected_makespan == cold.expected_makespan
+        assert warm.first_chunk == cold.first_chunk
+        assert np.array_equal(warm._v_pre, cold._v_pre)
+        assert np.array_equal(warm._c_pre, cold._c_pre)
+        assert np.array_equal(warm._v_post, cold._v_post)
+        assert np.array_equal(warm._c_post, cold._c_post)
+
+    def test_replan_disk_warm_bit_identical(self):
+        from repro.core.dp_nextfailure import dp_next_failure_parallel
+        from repro.core.state import PlatformState
+
+        dist = Exponential.from_mtbf(DAY)
+        ages = np.zeros(4)
+        calls = []
+
+        def solve():
+            calls.append(1)
+            state = PlatformState(ages, dist)
+            return dp_next_failure_parallel(2 * HOUR, 600.0, state, 600.0)
+
+        args = (2 * HOUR, 600.0, dist, ages, 600.0, 10, 100, True, solve)
+        cold = cached_replan(*args)
+        from repro.core.cache import clear_replan_memo
+
+        clear_replan_memo()
+        warm = cached_replan(*args)
+        assert len(calls) == 1  # second call served from disk, not solved
+        assert np.array_equal(warm.chunks, cold.chunks)
+        assert warm.expected_work == cold.expected_work
+        assert warm.u == cold.u
+
+    def test_load_handles_missing_fields(self, tmp_path, monkeypatch):
+        """A payload missing required arrays is a miss, not a crash."""
+        monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path))
+        from repro.core import diskcache
+
+        key = ("incomplete",)
+        diskcache.get_disk_cache().store(
+            "dp_makespan", key, {"expected_makespan": np.float64(1.0)}
+        )
+        assert load_dp_makespan(key) is None

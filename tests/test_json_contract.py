@@ -47,6 +47,8 @@ _CASES = [
     (["compare", *_TINY, "--policies", "young,dalylow"], 0),
     (["benchmark", *_TINY], 0),
     (["store"], 0),
+    (["store", "--wipe-solves"], 0),
+    (["store", "--wipe"], 0),
     # failure paths: still exactly one envelope on stdout
     (["run", "--override", "mtbf=-1"], 2),
     (["run", "--override", "nosuchfield=1"], 2),
@@ -84,6 +86,26 @@ def test_sarif_exemption_is_still_valid_json(capsys):
     # a SARIF document, not an envelope
     assert doc["version"] == "2.1.0"
     assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+
+def test_store_envelope_reports_solvecache(capsys, tmp_path, monkeypatch):
+    """`repro store` surfaces the persistent solve-cache tier: entry
+    counts, byte usage and lifetime hit counters, plus the wipe knobs."""
+    monkeypatch.chdir(tmp_path)
+    rc = main(["store"])
+    env = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    solvecache = env["data"]["solvecache"]
+    assert {"root", "entries", "bytes", "max_bytes", "kinds",
+            "lifetime"} <= set(solvecache)
+    assert {"hits", "misses", "stores", "evictions",
+            "hit_rate"} <= set(solvecache["lifetime"])
+
+    rc = main(["store", "--wipe-solves"])
+    env = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert env["data"]["wiped_solves"] == 0  # empty tier: nothing to drop
+    assert "wiped" not in env["data"]  # result store untouched
 
 
 def test_lint_findings_exit_one_with_envelope(capsys, tmp_path):

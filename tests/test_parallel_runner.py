@@ -390,3 +390,87 @@ class TestSharedMemory:
         with pytest.raises(Exception):
             shm_mod.attach_scenario(layout)
         assert FakeSegment.closed
+
+
+class TestDiskCacheTier:
+    """Persistent L2 disk tier under the runner: counters surfaced,
+    bit-identity with the tier on or off, and the worker memo-delta
+    merge that lets a later run in the same process fork warm."""
+
+    def _dp_run(self, **kw):
+        from repro.core.cache import clear_cache, clear_replan_memo
+
+        clear_cache()
+        clear_replan_memo()
+        platform = _platform(Weibull.from_mtbf(12 * HOUR, 0.7))
+        base = dict(
+            work_time=0.25 * DAY,
+            n_traces=6,
+            horizon=200 * DAY,
+            seed=7,
+            include_lower_bound=False,
+            include_period_lb=False,
+        )
+        base.update(kw)
+        return run_scenarios(
+            [DPNextFailurePolicy(n_grid=24)], platform, **base
+        )
+
+    def test_disk_warm_run_bit_identical(self):
+        """Second run with cleared L1 caches is served from disk and
+        produces the same makespans bit-for-bit."""
+        cold = self._dp_run(jobs=1)
+        assert cold.disk_misses >= 1  # every solve persisted
+        warm = self._dp_run(jobs=1)  # _dp_run cleared L1 again
+        assert np.array_equal(
+            cold.makespans["DPNextFailure"], warm.makespans["DPNextFailure"]
+        )
+        assert warm.disk_hits >= 1
+
+    def test_disk_tier_off_bit_identical_and_uncounted(self):
+        on = self._dp_run(jobs=1, use_disk_cache=True)
+        off = self._dp_run(jobs=1, use_disk_cache=False)
+        assert np.array_equal(
+            on.makespans["DPNextFailure"], off.makespans["DPNextFailure"]
+        )
+        assert off.disk_hits == 0 and off.disk_misses == 0
+
+    def test_counters_consistent_serial(self):
+        res = self._dp_run(jobs=1)
+        # serial misses are already unique, so the deduplicated count
+        # is defined to equal the summed one
+        assert res.memo_unique_misses == res.memo_misses
+        assert res.disk_evictions == 0
+
+    def test_parallel_unique_misses_not_above_summed(self):
+        res = self._dp_run(jobs=2, use_disk_cache=False)
+        assert 1 <= res.memo_unique_misses <= res.memo_misses
+
+    def test_memo_delta_merge_warms_parent(self):
+        """Workers ship their memo entries back at unit exit, so a
+        later run in the same process forks warm and mostly hits."""
+        first = self._dp_run(jobs=2, use_disk_cache=False)
+        assert first.memo_misses >= 1
+
+        from repro.core.cache import clear_cache
+
+        clear_cache()  # keep the replan memo, drop only the DP tables
+        second = run_scenarios(
+            [DPNextFailurePolicy(n_grid=24)],
+            _platform(Weibull.from_mtbf(12 * HOUR, 0.7)),
+            work_time=0.25 * DAY,
+            n_traces=6,
+            horizon=200 * DAY,
+            seed=7,
+            include_lower_bound=False,
+            include_period_lb=False,
+            jobs=2,
+            use_disk_cache=False,
+        )
+        assert np.array_equal(
+            first.makespans["DPNextFailure"],
+            second.makespans["DPNextFailure"],
+        )
+        # every replan the first run paid for is now a memo hit
+        assert second.memo_hits >= first.memo_unique_misses
+        assert second.memo_misses == 0
