@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: lint lint-fix test test-fast bench-smoke bench-engine bench-dp \
-	bench-solvecache service-smoke verify
+	bench-solvecache bench-sweep service-smoke verify
 
 # Static analysis.  reprolint (stdlib-only, part of this package) always
 # runs the full R1-R15 rule set — per-file, whole-program and
@@ -63,6 +63,12 @@ bench-dp:
 # bit-identical (full scale: python benchmarks/bench_solvecache.py).
 bench-solvecache:
 	$(PYTHON) benchmarks/bench_solvecache.py --smoke
+
+# Grid-sweep benchmark at smoke scale: verifies the shared-trace sweep
+# plan is bit-identical to running every grid point independently
+# (full scale: python benchmarks/bench_sweep.py).
+bench-sweep:
+	$(PYTHON) benchmarks/bench_sweep.py --smoke
 
 # Scenario-service acceptance check: boots a real daemon on an
 # ephemeral port, drives it through the CLI, asserts daemon results are

@@ -8,6 +8,8 @@ works for every subcommand (see ``docs/usage.md``).
 Subcommands:
 
 - ``repro run``         — run one scenario; archived-result JSON.
+- ``repro sweep``       — a parameter grid of scenarios, shared-trace
+  planned (``--grid key=a,b,c``; ``--submit`` sends it to the daemon).
 - ``repro compare``     — several policies on one scenario, ranked.
 - ``repro benchmark``   — cold/warm timing of the execution tier.
 - ``repro plan``        — Theorem 1's optimal plan for a sequential job.
@@ -144,11 +146,13 @@ def _coerce_override(value: str) -> Any:
         return value
 
 
-def _spec_from_args(args: argparse.Namespace):
-    """Build the canonical :class:`ScenarioSpec` a scenario subcommand
-    describes: ``--spec file.json`` (or ``-`` for stdin) as the base,
-    CLI flags over it, ``--override key=val`` entries last."""
-    from repro.service.spec import ScenarioSpec, SpecError
+def _raw_spec_from_args(args: argparse.Namespace) -> dict[str, Any]:
+    """The raw spec dict a scenario subcommand describes: ``--spec
+    file.json`` (or ``-`` for stdin) as the base, CLI flags over it,
+    ``--override key=val`` entries last.  Only fields the user actually
+    gave appear — spec defaults are applied by
+    :meth:`ScenarioSpec.from_dict` (directly or via ``expand_grid``)."""
+    from repro.service.spec import SpecError
 
     raw: dict[str, Any] = {}
     if getattr(args, "spec", None):
@@ -192,7 +196,48 @@ def _spec_from_args(args: argparse.Namespace):
         raw[key.strip()] = _coerce_override(value.strip())
     if isinstance(raw.get("policies"), (list, tuple)):
         raw["policies"] = [_normalize_policy(str(n)) for n in raw["policies"]]
-    return ScenarioSpec.from_dict(raw)
+    return raw
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Build the canonical :class:`ScenarioSpec` a scenario subcommand
+    describes (see :func:`_raw_spec_from_args` for precedence)."""
+    from repro.service.spec import ScenarioSpec
+
+    return ScenarioSpec.from_dict(_raw_spec_from_args(args))
+
+
+def _parse_grid(items: list[str] | None) -> dict[str, list[Any]]:
+    """``--grid key=v1,v2,...`` entries -> expand_grid axes.
+
+    Values parse like ``--override`` (JSON, then duration, then string).
+    The ``policies`` axis is special: each comma-separated value is one
+    point's policy *set*, with ``+`` joining names within a set
+    (``--grid policies=young+dalylow,optexp`` = two points)."""
+    from repro.service.spec import SpecError
+
+    grid: dict[str, list[Any]] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise SpecError(f"--grid needs key=v1,v2,..., got {item!r}")
+        key, _, values = item.partition("=")
+        key = key.strip()
+        parsed: list[Any] = []
+        for chunk in values.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if key == "policies":
+                parsed.append([
+                    _normalize_policy(n)
+                    for n in chunk.split("+") if n.strip()
+                ])
+            else:
+                parsed.append(_coerce_override(chunk))
+        if not parsed:
+            raise SpecError(f"--grid {key!r} needs at least one value")
+        grid[key] = parsed
+    return grid
 
 
 def _execution_dict(args: argparse.Namespace) -> dict[str, Any]:
@@ -277,6 +322,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
     from repro.core.cache import clear_cache, clear_replan_memo
+    from repro.simulation.runner import aggregate_counters
 
     spec = _spec_from_args(args)
     execution = _execution_dict(args)
@@ -298,15 +344,103 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
         "warm_speedup": (cold_s / warm_s) if warm_s > 0 else None,
         "cold": {"cache_hits": cold.cache_hits, "cache_misses": cold.cache_misses,
                  "memo_hits": cold.memo_hits, "memo_misses": cold.memo_misses,
-                 "disk_hits": cold.disk_hits, "disk_misses": cold.disk_misses},
+                 "memo_unique_misses": cold.memo_unique_misses,
+                 "disk_hits": cold.disk_hits, "disk_misses": cold.disk_misses,
+                 "disk_evictions": cold.disk_evictions},
         "warm": {"cache_hits": warm.cache_hits, "cache_misses": warm.cache_misses,
                  "memo_hits": warm.memo_hits, "memo_misses": warm.memo_misses,
-                 "disk_hits": warm.disk_hits, "disk_misses": warm.disk_misses},
+                 "memo_unique_misses": warm.memo_unique_misses,
+                 "disk_hits": warm.disk_hits, "disk_misses": warm.disk_misses,
+                 "disk_evictions": warm.disk_evictions},
+        "counters": aggregate_counters([cold, warm]),
         "n_jobs": cold.n_jobs,
     }
     hlog(f"benchmark: warm {warm_s:.2f}s "
          f"({data['warm_speedup']:.1f}x vs cold)" if warm_s > 0 else "done")
     return emit(envelope("benchmark", data))
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.service.serialize import scenario_result_to_dict
+    from repro.service.spec import expand_grid
+    from repro.simulation.sweep import run_sweep
+
+    base = _raw_spec_from_args(args)
+    grid = _parse_grid(args.grid)
+    specs = expand_grid(base, grid)
+    use_sweep_plan = not args.no_sweep_plan
+
+    if args.submit:
+        client = _client(args)
+        env = client.submit_batch(
+            specs=[spec.to_dict() for spec in specs],
+            execution=_execution_dict(args) or None,
+            use_sweep_plan=use_sweep_plan,
+        )
+        if not env["ok"]:
+            return emit({**env, "command": "sweep"})
+        data = dict(env["data"])
+        data["endpoint"] = client.endpoint
+        hlog(f"submitted {data.get('batch_id')} ({data.get('n_points')} "
+             f"points, {data.get('n_groups')} trace groups) "
+             f"-> {data.get('state')}")
+        if args.wait and data.get("state") not in ("done", "failed"):
+            env = client.wait_batch(data["batch_id"], timeout=args.timeout)
+            if not env["ok"]:
+                return emit({**env, "command": "sweep"})
+            data = {**env["data"], "endpoint": client.endpoint}
+            hlog(f"{data.get('batch_id')} -> {data.get('state')}")
+        exit_code = 1 if data.get("state") == "failed" else 0
+        return emit(envelope(
+            "sweep", data, ok=exit_code == 0, exit_code=exit_code,
+            error=None if exit_code == 0 else {
+                "type": "BatchFailed",
+                "message": "one or more sweep member jobs failed",
+            },
+        ))
+
+    execution = _execution_dict(args)
+    axes = ", ".join(f"{k}x{len(v)}" for k, v in grid.items())
+    hlog(f"sweep: {len(specs)} grid point(s) ({axes or 'no axes'})")
+    sweep = run_sweep(
+        specs,
+        jobs=execution.get("jobs"),
+        use_cache=execution.get("use_cache"),
+        use_batch=execution.get("use_batch"),
+        use_memo=execution.get("use_memo"),
+        use_shm=execution.get("use_shm"),
+        use_disk_cache=execution.get("use_disk_cache"),
+        use_sweep_plan=use_sweep_plan,
+        progress=lambda done, total: hlog(f"sweep: {done}/{total} points"),
+    )
+    points = [
+        {
+            "spec": spec.to_dict(),
+            "signature": spec.signature(),
+            "result": scenario_result_to_dict(result),
+        }
+        for spec, result in zip(specs, sweep.results)
+    ]
+    plan = sweep.plan.to_dict()
+    data = {
+        "base": base,
+        "grid": grid,
+        "plan": plan,
+        "sweep_planned": sweep.sweep_planned,
+        "n_jobs": sweep.n_jobs,
+        "elapsed": sweep.elapsed,
+        "points": points,
+        "group_stats": sweep.group_stats,
+        "scheduler": sweep.scheduler_summary(),
+        "counters": sweep.counters,
+    }
+    c = sweep.counters
+    hlog(f"sweep done in {sweep.elapsed:.2f}s: {len(points)} points over "
+         f"{plan['n_groups']} trace group(s), "
+         f"{plan['shared_trace_gens_saved']} trace generation(s) shared "
+         f"(run-level cache {c.get('cache_hits', 0)} / "
+         f"memo {c.get('memo_hits', 0)} / disk {c.get('disk_hits', 0)} hits)")
+    return emit(envelope("sweep", data))
 
 
 # ----------------------------------------------------------------------
@@ -904,6 +1038,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_args(p_run)
     _add_execution_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a parameter grid of scenarios, shared-trace "
+                      "planned")
+    _add_spec_args(p_sweep)
+    p_sweep.add_argument("--grid", action="append", metavar="KEY=V1,V2,...",
+                         help="one grid axis (repeatable); values parse "
+                              "like --override; the policies axis joins "
+                              "names with '+' within a value "
+                              "(policies=young+dalylow,optexp)")
+    _add_execution_args(p_sweep)
+    p_sweep.add_argument("--no-sweep-plan", action="store_true",
+                         help="run every grid point as an independent "
+                              "scenario (bit-identical results; escape "
+                              "hatch / A-B check)")
+    _add_endpoint_arg(p_sweep)
+    p_sweep.add_argument("--submit", action="store_true",
+                         help="send the sweep to the daemon as one "
+                              "batch (POST /v1/batches) instead of "
+                              "running locally")
+    p_sweep.add_argument("--wait", action="store_true",
+                         help="with --submit: block until every member "
+                              "job is terminal")
+    p_sweep.add_argument("--timeout", type=parse_duration, default=None,
+                         help="--wait limit (duration; default none)")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_cmp = sub.add_parser("compare",
                            help="compare policies on one scenario")

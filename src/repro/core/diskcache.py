@@ -36,8 +36,9 @@ Durability discipline (the same R10 contract the result store obeys):
   entry automatically; old-version directories are pruned on the next
   write.
 
-The tier is bounded by a byte budget (LRU by file access time, default
-256 MiB) and observable: per-process hit/miss/store/evict counters feed
+The tier is bounded by a byte budget (LRU by file *mtime*, which
+``load()`` bumps explicitly on every hit so recency survives
+``noatime``-mounted filesystems; default 256 MiB) and observable: per-process hit/miss/store/evict counters feed
 ``ScenarioResult.disk_hits`` / ``disk_misses`` / ``disk_evictions``,
 and advisory lifetime counters are persisted next to the entries for
 ``repro store``.  ``--no-disk-cache`` / ``REPRO_BENCH_NO_DISKCACHE``
@@ -247,7 +248,10 @@ class DiskSolveCache:
             with self._lock:
                 self.misses += 1
             return None
-        # refresh the access time so the byte-budget eviction is LRU
+        # explicit recency bump: os.utime with no times sets BOTH atime
+        # and mtime to now, and eviction orders by mtime — atime is
+        # unreliable under noatime/relatime mounts (common on servers),
+        # where a read alone would never refresh recency
         with contextlib.suppress(OSError):
             os.utime(path)
         with self._lock:
@@ -311,10 +315,15 @@ class DiskSolveCache:
                 shutil.rmtree(path, ignore_errors=True)
 
     def _evict_over_budget(self) -> None:
-        """Drop least-recently-used entries until under ``max_bytes``."""
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        Recency is ``st_mtime``, not ``st_atime``: ``load()`` bumps
+        mtime explicitly on every hit, whereas atime is frozen (or
+        update-limited) on ``noatime``/``relatime`` filesystems and
+        would make eviction order effectively write-time FIFO there."""
         try:
             entries = [
-                (stat.st_atime, stat.st_size, path)
+                (stat.st_mtime, stat.st_size, path)
                 for path in self.root.rglob("*.npz")
                 if (stat := path.stat())
             ]

@@ -140,6 +140,57 @@ class ServiceClient:
         """A finished job's archived result document."""
         return self.request("GET", f"/v1/jobs/{job_id}/result")
 
+    def submit_batch(
+        self,
+        specs: list[dict[str, Any]] | None = None,
+        base: dict[str, Any] | None = None,
+        grid: dict[str, Any] | None = None,
+        execution: dict[str, Any] | None = None,
+        use_sweep_plan: bool = True,
+    ) -> dict[str, Any]:
+        """Submit a sweep batch: an explicit spec list, or a base spec
+        plus grid axes expanded server-side (exactly one of the two)."""
+        body: dict[str, Any] = {}
+        if specs is not None:
+            body["specs"] = specs
+        if base is not None:
+            body["base"] = base
+        if grid is not None:
+            body["grid"] = grid
+        if execution:
+            body["execution"] = execution
+        if not use_sweep_plan:
+            body["use_sweep_plan"] = False
+        return self.request("POST", "/v1/batches", body)
+
+    def batches(self) -> dict[str, Any]:
+        """Status snapshots of every batch the daemon knows."""
+        return self.request("GET", "/v1/batches")
+
+    def batch_status(self, batch_id: str) -> dict[str, Any]:
+        """One batch's aggregate status (overall state, member jobs)."""
+        return self.request("GET", f"/v1/batches/{batch_id}")
+
+    def wait_batch(
+        self,
+        batch_id: str,
+        timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> dict[str, Any]:
+        """Poll until every member job is terminal; returns the final
+        batch envelope.  Raises :class:`ServiceError` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            env = self.batch_status(batch_id)
+            state = (env.get("data") or {}).get("state")
+            if state in ("done", "failed") or not env["ok"]:
+                return env
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for {batch_id}"
+                )
+            time.sleep(poll)
+
     def store_stats(self) -> dict[str, Any]:
         """Result-store counters (entries, total hits, root, version)."""
         return self.request("GET", "/v1/store")

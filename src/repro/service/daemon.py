@@ -17,9 +17,21 @@ GET       /v1/jobs                list all jobs (status snapshots)
 GET       /v1/jobs/<id>           one job's status
 GET       /v1/jobs/<id>/result    archived result (409 until terminal)
 GET       /v1/jobs/<id>/stream    NDJSON status stream until terminal
+POST      /v1/batches             submit a sweep: ``{"specs": [...]}`` or
+                                  ``{"base": {...}, "grid": {...}}``
+GET       /v1/batches             list all batches (status snapshots)
+GET       /v1/batches/<id>        one batch's aggregate status
 GET       /v1/store               result-store stats
 POST      /v1/shutdown            graceful stop
 ========  ======================  ==========================================
+
+A batch is one sweep: every point becomes a member job with the usual
+coalesce/cached semantics, points are grouped by trace signature and
+each group executes over one shared trace set
+(:meth:`~repro.service.queue.JobQueue.submit_batch`).  The batch body
+may carry ``"execution"`` knobs and ``"use_sweep_plan": false`` (the
+bit-identical independent-runs escape hatch).  Member jobs stay
+individually addressable under ``/v1/jobs/<id>``.
 
 HTTP status mirrors envelope exit codes: 200 for ``ok``, 400 for bad
 requests, 404 for unknown jobs, 409 for not-ready results, 500 for
@@ -40,7 +52,7 @@ from typing import Any
 from repro._version import __version__
 from repro.service.envelope import dumps, envelope, error_envelope, hlog
 from repro.service.queue import ExecutionOptions, JobQueue
-from repro.service.spec import ScenarioSpec, SpecError
+from repro.service.spec import ScenarioSpec, SpecError, expand_grid
 
 __all__ = ["ServiceDaemon"]
 
@@ -170,6 +182,27 @@ class _Handler(BaseHTTPRequestHandler):
         elif method == "GET" and len(tail) == 3 and tail[:1] == ["jobs"] \
                 and tail[2] == "stream":
             self._stream(tail[1])
+        elif method == "POST" and tail == ["batches"]:
+            body = self._read_body()
+            specs = self._batch_specs(body)
+            execution = ExecutionOptions.from_dict(body.get("execution"))
+            use_sweep_plan = body.get("use_sweep_plan", True)
+            if not isinstance(use_sweep_plan, bool):
+                raise ValueError("use_sweep_plan must be a boolean")
+            batch = queue.submit_batch(
+                specs, execution, use_sweep_plan=use_sweep_plan
+            )
+            self._send(200, envelope(
+                "service.batch", queue.batch_status(batch.batch_id)
+            ))
+        elif method == "GET" and tail == ["batches"]:
+            self._send(200, envelope(
+                "service.batches", {"batches": queue.batches()}
+            ))
+        elif method == "GET" and len(tail) == 2 and tail[0] == "batches":
+            self._send(200, envelope(
+                "service.batch", queue.batch_status(tail[1])
+            ))
         elif method == "GET" and tail == ["store"]:
             self._send(200, envelope("service.store", queue.store.stats()))
         elif method == "POST" and tail == ["shutdown"]:
@@ -177,6 +210,27 @@ class _Handler(BaseHTTPRequestHandler):
             self.daemon.stop_async()
         else:
             raise KeyError(f"unknown route {method} {self.path!r}")
+
+    def _batch_specs(self, body: dict[str, Any]) -> list[ScenarioSpec]:
+        """The point list of a batch body: an explicit ``"specs"`` list
+        or a ``"base"`` + ``"grid"`` pair expanded server-side (exactly
+        one of the two forms)."""
+        has_specs = "specs" in body
+        has_grid = "base" in body or "grid" in body
+        if has_specs and has_grid:
+            raise ValueError("give either 'specs' or 'base'+'grid', not both")
+        if has_specs:
+            raw_specs = body["specs"]
+            if not isinstance(raw_specs, list) or not raw_specs:
+                raise ValueError("'specs' must be a non-empty list")
+            return [ScenarioSpec.from_dict(raw) for raw in raw_specs]
+        if has_grid:
+            base = body.get("base") or {}
+            grid = body.get("grid") or {}
+            if not isinstance(base, dict) or not isinstance(grid, dict):
+                raise ValueError("'base' and 'grid' must be objects")
+            return expand_grid(base, grid)
+        raise ValueError("batch body needs 'specs' or 'base'+'grid'")
 
     def _stream(self, job_id: str) -> None:
         """NDJSON stream of status snapshots until the job is terminal."""

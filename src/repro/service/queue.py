@@ -9,6 +9,16 @@ scenario execution fans out over ParallelRunner processes, so the
 queue's worker count bounds *concurrent scenarios* while the execution
 config bounds *processes per scenario*.
 
+Batch submission (``POST /v1/batches``, :meth:`JobQueue.submit_batch`)
+layers the sweep planner on top: every point of a sweep becomes a
+member job with the usual store-hit / live-coalesce semantics, and the
+points that actually need solving are grouped by trace signature
+(:func:`repro.simulation.sweep.trace_signature`) into *group tasks* —
+one queue entry per group, executed by :func:`repro.simulation.sweep.
+run_sweep` over one shared trace set.  Member jobs stay individually
+addressable (status/result/stream by job id); the
+:class:`BatchRecord` aggregates them into one batch-status envelope.
+
 Thread-safety: one lock guards the job table; records hand out
 JSON-ready snapshots (:meth:`JobRecord.to_status_dict`) rather than
 live references.  Progress is fed by the runner's per-work-unit
@@ -29,7 +39,7 @@ from repro.service.serialize import scenario_result_to_dict
 from repro.service.spec import ScenarioSpec
 from repro.service.store import ResultStore
 
-__all__ = ["ExecutionOptions", "JobQueue", "JobRecord"]
+__all__ = ["BatchRecord", "ExecutionOptions", "JobQueue", "JobRecord"]
 
 #: Job states; ``cached`` and ``done`` both carry a result.
 STATES = ("queued", "running", "done", "failed", "cached")
@@ -102,6 +112,36 @@ class JobRecord:
         }
 
 
+@dataclass
+class _GroupTask:
+    """One sweep group's worth of member jobs, executed together over a
+    shared trace set (a queue entry alongside plain job ids)."""
+
+    job_ids: list[str]
+    execution: ExecutionOptions
+    use_sweep_plan: bool = True
+
+
+@dataclass
+class BatchRecord:
+    """One batch submission: the member jobs of a sweep, point order."""
+
+    batch_id: str
+    point_jobs: list[str]  # job id per grid point, submission order
+    n_groups: int
+    submitted_at: float
+    plan: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def job_ids(self) -> list[str]:
+        """Unique member job ids, first-appearance order (duplicate
+        signatures within a batch coalesce onto one job)."""
+        seen: dict[str, None] = {}
+        for job_id in self.point_jobs:
+            seen.setdefault(job_id)
+        return list(seen)
+
+
 class JobQueue:
     """Thread-backed scenario queue in front of a :class:`ResultStore`."""
 
@@ -110,10 +150,12 @@ class JobQueue:
             raise ValueError("workers must be >= 1")
         self.store = store if store is not None else ResultStore()
         self._jobs: dict[str, JobRecord] = {}
+        self._batches: dict[str, BatchRecord] = {}
         self._by_signature: dict[str, str] = {}
         self._ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
         self._lock = threading.Lock()
-        self._tasks: _queue.Queue[str | None] = _queue.Queue()
+        self._tasks: _queue.Queue[str | _GroupTask | None] = _queue.Queue()
         self._workers = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"repro-job-worker-{i}")
@@ -123,6 +165,36 @@ class JobQueue:
             thread.start()
 
     # -- submission ----------------------------------------------------
+
+    def _register_locked(
+        self, spec: ScenarioSpec, execution: ExecutionOptions
+    ) -> tuple[JobRecord, bool]:
+        """Store-hit / live-coalesce / new-job logic, lock held by the
+        caller; returns ``(job, newly_queued)`` — the caller decides how
+        a newly queued job reaches the task queue (alone or inside a
+        batch's group task)."""
+        signature = spec.signature()
+        live_id = self._by_signature.get(signature)  # reprolint: disable=R9 caller holds _lock
+        if live_id is not None and not self._jobs[live_id].terminal:  # reprolint: disable=R9 caller holds _lock
+            return self._jobs[live_id], False  # reprolint: disable=R9 caller holds _lock
+        entry = self.store.get(signature)
+        job = JobRecord(
+            job_id=f"job-{next(self._ids):06d}",
+            signature=signature,
+            spec=spec,
+            execution=execution,
+            submitted_at=time.time(),
+        )
+        if entry is not None:
+            job.state = "cached"
+            job.result_doc = entry.result
+            job.store_hits = entry.hits
+            job.finished_at = job.submitted_at
+            job._event.set()
+        else:
+            self._by_signature[signature] = job.job_id  # reprolint: disable=R9 caller holds _lock
+        self._jobs[job.job_id] = job  # reprolint: disable=R9 caller holds _lock
+        return job, job.state == "queued"
 
     def submit(
         self,
@@ -137,45 +209,95 @@ class JobQueue:
         ``queued`` job.
         """
         execution = execution if execution is not None else ExecutionOptions()
-        signature = spec.signature()
         with self._lock:
-            live_id = self._by_signature.get(signature)
-            if live_id is not None and not self._jobs[live_id].terminal:
-                return self._jobs[live_id]
-            entry = self.store.get(signature)
-            job = JobRecord(
-                job_id=f"job-{next(self._ids):06d}",
-                signature=signature,
-                spec=spec,
-                execution=execution,
-                submitted_at=time.time(),
-            )
-            if entry is not None:
-                job.state = "cached"
-                job.result_doc = entry.result
-                job.store_hits = entry.hits
-                job.finished_at = job.submitted_at
-                job._event.set()
-            else:
-                self._by_signature[signature] = job.job_id
-            self._jobs[job.job_id] = job
-            if job.state == "queued":
+            job, newly_queued = self._register_locked(spec, execution)
+            if newly_queued:
                 self._tasks.put(job.job_id)
             return job
+
+    def submit_batch(
+        self,
+        specs: list[ScenarioSpec],
+        execution: ExecutionOptions | None = None,
+        use_sweep_plan: bool = True,
+    ) -> BatchRecord:
+        """Register a sweep: one member job per grid point, coalesced
+        into shared-trace group tasks.
+
+        Every point gets the :meth:`submit` semantics (store hit ->
+        ``cached``, live signature -> coalesce — including duplicates
+        *within* the batch).  The points left to solve are grouped by
+        :func:`~repro.simulation.sweep.trace_signature`; each group is
+        one queue entry, executed over one generated trace set / one
+        compiled ensemble / one shm publication by
+        :func:`~repro.simulation.sweep.run_sweep`.  Results land in the
+        store under each member's own signature, so later submissions
+        hit regardless of how the batch was grouped.
+        """
+        if not specs:
+            raise ValueError("batch must contain at least one spec")
+        # grouping is simulation-layer logic; imported here to keep the
+        # queue importable without pulling the whole execution tier
+        from repro.simulation.sweep import trace_signature
+
+        execution = execution if execution is not None else ExecutionOptions()
+        with self._lock:
+            point_jobs: list[str] = []
+            new_jobs: list[JobRecord] = []
+            cached = 0
+            for spec in specs:
+                job, newly_queued = self._register_locked(spec, execution)
+                point_jobs.append(job.job_id)
+                if newly_queued:
+                    new_jobs.append(job)
+                elif job.state == "cached":
+                    cached += 1
+            groups: dict[tuple, list[str]] = {}
+            for job in new_jobs:
+                key = trace_signature(job.spec)
+                groups.setdefault(key, []).append(job.job_id)
+            batch = BatchRecord(
+                batch_id=f"batch-{next(self._batch_ids):06d}",
+                point_jobs=point_jobs,
+                n_groups=len(groups),
+                submitted_at=time.time(),  # reprolint: clock-ok=submission timestamp, never reaches results
+                plan={
+                    "n_points": len(specs),
+                    "n_groups": len(groups),
+                    "group_sizes": sorted(
+                        (len(ids) for ids in groups.values()), reverse=True
+                    ),
+                    "new_jobs": len(new_jobs),
+                    "cached": cached,
+                    "coalesced": len(specs) - len(new_jobs) - cached,
+                    "use_sweep_plan": use_sweep_plan,
+                },
+            )
+            self._batches[batch.batch_id] = batch
+            for job_ids in groups.values():
+                self._tasks.put(_GroupTask(
+                    job_ids=job_ids,
+                    execution=execution,
+                    use_sweep_plan=use_sweep_plan,
+                ))
+            return batch
 
     # -- execution -----------------------------------------------------
 
     def _worker(self) -> None:
         while True:
-            job_id = self._tasks.get()
-            if job_id is None:
+            item = self._tasks.get()
+            if item is None:
                 return
+            if isinstance(item, _GroupTask):
+                self._execute_group(item)
+                continue
             with self._lock:
-                job = self._jobs.get(job_id)
+                job = self._jobs.get(item)
                 if job is None or job.state != "queued":
                     continue
                 job.state = "running"
-                job.started_at = time.time()
+                job.started_at = time.time()  # reprolint: clock-ok=job bookkeeping timestamp
             self._execute(job)
 
     def _execute(self, job: JobRecord) -> None:
@@ -210,6 +332,77 @@ class JobQueue:
             traceback.print_exc()
         finally:
             job._event.set()
+
+    def _execute_group(self, task: _GroupTask) -> None:
+        """Run one sweep group's member jobs over a shared trace set.
+
+        ``run_sweep`` drives the per-point lifecycle through callbacks:
+        a member flips to ``running`` when its point starts, gets
+        per-work-unit progress ticks while it replays, and is archived +
+        marked ``done`` the moment its point finishes — so pollers see
+        members complete one by one, exactly like individually submitted
+        jobs.  A group-level failure fails every not-yet-done member
+        with the same error."""
+        with self._lock:
+            jobs: list[JobRecord] = []
+            for job_id in task.job_ids:
+                job = self._jobs.get(job_id)
+                if job is not None and job.state == "queued":
+                    jobs.append(job)
+        if not jobs:
+            return
+        from repro.simulation.sweep import run_sweep
+
+        specs = [job.spec for job in jobs]
+
+        def on_point_start(index: int) -> None:
+            with self._lock:
+                jobs[index].state = "running"
+                jobs[index].started_at = time.time()  # reprolint: clock-ok=job bookkeeping timestamp
+
+        def point_progress(index: int, done: int, total: int) -> None:
+            jobs[index].progress_done = done
+            jobs[index].progress_total = total
+
+        def on_point_done(index: int, result: Any) -> None:
+            job = jobs[index]
+            result_doc = scenario_result_to_dict(result)
+            self.store.put(job.signature, job.spec.to_dict(), result_doc)
+            with self._lock:
+                job.result_doc = result_doc
+                job.state = "done"
+                job.finished_at = time.time()  # reprolint: clock-ok=job bookkeeping timestamp
+                self._by_signature.pop(job.signature, None)
+            job._event.set()
+
+        execution = task.execution
+        try:
+            run_sweep(
+                specs,
+                jobs=execution.jobs,
+                use_cache=execution.use_cache,
+                use_batch=execution.use_batch,
+                use_memo=execution.use_memo,
+                use_shm=execution.use_shm,
+                use_disk_cache=execution.use_disk_cache,
+                use_sweep_plan=task.use_sweep_plan,
+                on_point_start=on_point_start,
+                on_point_done=on_point_done,
+                point_progress=point_progress,
+            )
+        except Exception as exc:
+            with self._lock:
+                for job in jobs:
+                    if not job.terminal:
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.state = "failed"
+                        job.finished_at = time.time()  # reprolint: clock-ok=job bookkeeping timestamp
+                        self._by_signature.pop(job.signature, None)
+            # full trace belongs in the daemon's stderr log, not the API
+            traceback.print_exc()
+        finally:
+            for job in jobs:
+                job._event.set()
 
     # -- queries -------------------------------------------------------
 
@@ -260,6 +453,89 @@ class JobQueue:
     def wait(self, job_id: str, timeout: float | None = None) -> bool:
         """Block until the job is terminal; True if it finished in time."""
         return self._job(job_id)._event.wait(timeout)
+
+    def _batch(self, batch_id: str) -> BatchRecord:
+        with self._lock:
+            batch = self._batches.get(batch_id)
+        if batch is None:
+            raise KeyError(f"unknown batch {batch_id!r}")
+        return batch
+
+    def batch_status(self, batch_id: str) -> dict[str, Any]:
+        """One JSON-ready envelope for a whole batch (KeyError if
+        unknown): overall state, per-state member counts, aggregate
+        progress, the submission-time plan, member snapshots in point
+        order, and a counter roll-up over the members that already
+        carry a result.
+
+        Overall state: ``failed`` if any member failed, ``done`` once
+        every member is terminal, ``running`` while any member runs,
+        else ``queued``."""
+        from repro.simulation.runner import COUNTER_FIELDS
+
+        batch = self._batch(batch_id)
+        with self._lock:
+            members = [
+                self._jobs[job_id].to_status_dict()
+                for job_id in batch.point_jobs
+            ]
+            result_docs = [
+                self._jobs[job_id].result_doc for job_id in batch.job_ids
+            ]
+        states = [m["state"] for m in members]
+        if "failed" in states:
+            overall = "failed"
+        elif all(s in _TERMINAL for s in states):
+            overall = "done"
+        elif "running" in states:
+            overall = "running"
+        else:
+            overall = "queued"
+        counters: dict[str, int] = {}
+        scenarios_with_counters = 0
+        for doc in result_docs:
+            if not doc:
+                continue
+            scenarios_with_counters += 1
+            for name in COUNTER_FIELDS:
+                counters[name] = counters.get(name, 0) + int(doc.get(name, 0))
+        counters["scenarios"] = scenarios_with_counters
+        return {
+            "batch_id": batch.batch_id,
+            "state": overall,
+            "submitted_at": batch.submitted_at,
+            "plan": dict(batch.plan),
+            "n_points": len(batch.point_jobs),
+            "n_groups": batch.n_groups,
+            "states": {s: states.count(s) for s in STATES if s in states},
+            "progress": {
+                "done": sum(m["progress"]["done"] for m in members),
+                "total": sum(m["progress"]["total"] for m in members),
+            },
+            "counters": counters,
+            "jobs": members,
+        }
+
+    def batches(self) -> list[dict[str, Any]]:
+        """Status snapshots of every batch, oldest first."""
+        with self._lock:
+            batch_ids = sorted(self._batches)
+        return [self.batch_status(batch_id) for batch_id in batch_ids]
+
+    def wait_batch(self, batch_id: str, timeout: float | None = None) -> bool:
+        """Block until every member job is terminal; True if the whole
+        batch finished in time."""
+        batch = self._batch(batch_id)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        for job_id in batch.job_ids:
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not self.wait(job_id, timeout=remaining):
+                return False
+        return True
 
     # -- lifecycle -----------------------------------------------------
 

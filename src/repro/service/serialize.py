@@ -29,12 +29,35 @@ from repro.simulation.runner import ScenarioResult
 
 __all__ = [
     "RESULT_FORMAT",
+    "RESULT_PAYLOAD_FIELDS",
+    "comparable_result_payload",
     "scenario_result_from_dict",
     "scenario_result_to_dict",
 ]
 
 #: Serialization format tag; bump on any layout change.
 RESULT_FORMAT = "repro.result/1"
+
+#: The *result payload*: the fields that are a pure function of the
+#: scenario spec.  Everything else in a serialized result (elapsed,
+#: n_jobs, cache/memo/disk counters, scheduler stats, reuse flags) is
+#: execution metadata that legitimately differs between bit-identical
+#: runs.  Identity gates (service smoke, sweep tests, benchmarks)
+#: compare exactly this subset.
+RESULT_PAYLOAD_FIELDS = (
+    "format",
+    "makespans",
+    "details",
+    "work_time",
+    "best_period",
+    "infeasible",
+)
+
+
+def comparable_result_payload(doc: dict[str, Any]) -> dict[str, Any]:
+    """The spec-determined subset of a serialized result document —
+    what "bit-identical results" means across execution modes."""
+    return {name: doc[name] for name in RESULT_PAYLOAD_FIELDS}
 
 _SIM_FIELDS = (
     "makespan",
@@ -90,6 +113,9 @@ def scenario_result_to_dict(result: ScenarioResult) -> dict[str, Any]:
         "disk_hits": result.disk_hits,
         "disk_misses": result.disk_misses,
         "disk_evictions": result.disk_evictions,
+        "trace_gen_reused": result.trace_gen_reused,
+        "ensemble_reused": result.ensemble_reused,
+        "scheduler": jsonable(result.scheduler),
     }
 
 
@@ -130,4 +156,7 @@ def scenario_result_from_dict(raw: dict[str, Any]) -> ScenarioResult:
         disk_hits=int(raw.get("disk_hits", 0)),
         disk_misses=int(raw.get("disk_misses", 0)),
         disk_evictions=int(raw.get("disk_evictions", 0)),
+        trace_gen_reused=bool(raw.get("trace_gen_reused", False)),
+        ensemble_reused=bool(raw.get("ensemble_reused", False)),
+        scheduler=from_jsonable(raw.get("scheduler", {})),
     )

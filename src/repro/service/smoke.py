@@ -91,11 +91,11 @@ def _wait_for_endpoint(daemon: subprocess.Popen[str]) -> str:
 def _result_payload(env: dict[str, Any]) -> dict[str, Any]:
     """The comparable part of a result doc: everything that is a
     *result*, excluding run metadata (elapsed wall-clock, worker count,
-    cache counters) that legitimately differs between executions."""
-    doc = env["data"]["result"]
-    keep = ("format", "makespans", "details", "work_time", "best_period",
-            "infeasible")
-    return {k: doc[k] for k in keep}
+    cache counters, scheduler stats) that legitimately differs between
+    executions."""
+    from repro.service.serialize import comparable_result_payload
+
+    return comparable_result_payload(env["data"]["result"])
 
 
 def main() -> int:

@@ -20,10 +20,11 @@ one signature and one archived result.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.units import DAY, MINUTE
 
@@ -32,7 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.policies.base import Policy
     from repro.simulation.runner import ScenarioResult
 
-__all__ = ["POLICY_NAMES", "ScenarioSpec", "SpecError", "policy_from_name"]
+__all__ = [
+    "POLICY_NAMES",
+    "ScenarioSpec",
+    "SpecError",
+    "expand_grid",
+    "policy_from_name",
+]
 
 #: Builtin policy spellings accepted in ``ScenarioSpec.policies`` (the
 #: ``period:<seconds>`` family is accepted on top of these).
@@ -294,12 +301,17 @@ class ScenarioSpec:
         use_shm: bool | None = None,
         use_disk_cache: bool | None = None,
         progress: Callable[[int, int], None] | None = None,
+        shared=None,
+        executor=None,
     ) -> "ScenarioResult":
         """Execute this scenario on the PR-1/4/5 execution tier.
 
         Results are a pure function of the spec (bit-identical for any
         execution knobs) — the property the content-addressed store and
-        the service's cached-resubmit contract rest on.
+        the service's cached-resubmit contract rest on.  ``shared`` /
+        ``executor`` are sweep-group plumbing (pre-built trace set, one
+        process pool per grid); see
+        :func:`repro.simulation.runner.run_scenarios`.
         """
         from repro.simulation.runner import run_scenarios
 
@@ -320,4 +332,42 @@ class ScenarioSpec:
             use_shm=use_shm,
             use_disk_cache=use_disk_cache,
             progress=progress,
+            shared=shared,
+            executor=executor,
         )
+
+
+def expand_grid(
+    base: dict[str, Any], grid: dict[str, Sequence[Any]]
+) -> list[ScenarioSpec]:
+    """Expand a parameter grid into validated :class:`ScenarioSpec`\\ s.
+
+    ``base`` is a raw spec dict (the ``--spec`` file / flag values);
+    ``grid`` maps spec field names to the values each grid axis takes.
+    The expansion is the cartesian product in deterministic order: axes
+    iterate in ``grid``'s insertion order, values in their given order,
+    with the last axis varying fastest — so the same request always
+    yields the same point list, point ``i`` is reproducible from the
+    request alone, and sweep results align positionally.  Every point
+    goes through :meth:`ScenarioSpec.from_dict`, so unknown keys and
+    bad values fail the whole expansion up front rather than midway
+    through a sweep.
+    """
+    if not isinstance(grid, dict):
+        raise SpecError(f"grid must be an object, got {type(grid).__name__}")
+    for key, values in grid.items():
+        if key not in ScenarioSpec._FIELD_ORDER:
+            raise SpecError(f"unknown grid key {key!r}")
+        if isinstance(values, (str, bytes)) or not isinstance(
+            values, (list, tuple)
+        ):
+            raise SpecError(f"grid values for {key!r} must be a list")
+        if not values:
+            raise SpecError(f"grid axis {key!r} is empty")
+    keys = list(grid)
+    specs: list[ScenarioSpec] = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        raw = dict(base)
+        raw.update(zip(keys, combo))
+        specs.append(ScenarioSpec.from_dict(raw))
+    return specs

@@ -12,11 +12,23 @@ from repro.simulation.engine import JobContext, simulate_job, simulate_lower_bou
 from repro.simulation.parallel import (
     ExecutionConfig,
     ParallelRunner,
+    SharedTraces,
     get_default_execution,
     set_default_execution,
 )
 from repro.simulation.results import SimulationResult
-from repro.simulation.runner import ScenarioResult, run_scenarios
+from repro.simulation.runner import (
+    ScenarioResult,
+    aggregate_counters,
+    run_scenarios,
+)
+from repro.simulation.sweep import (
+    SweepPlan,
+    SweepResult,
+    plan_sweep,
+    run_sweep,
+    trace_signature,
+)
 
 __all__ = [
     "JobContext",
@@ -28,9 +40,16 @@ __all__ = [
     "simulate_policy_ensemble",
     "SimulationResult",
     "ScenarioResult",
+    "aggregate_counters",
     "run_scenarios",
     "ExecutionConfig",
     "ParallelRunner",
+    "SharedTraces",
     "get_default_execution",
     "set_default_execution",
+    "SweepPlan",
+    "SweepResult",
+    "plan_sweep",
+    "run_sweep",
+    "trace_signature",
 ]

@@ -66,6 +66,24 @@ rows of their work unit instead of regenerating per task (previously a
 trace could be rebuilt once per phase).  Any publish/attach failure
 falls back silently to regeneration — bit-identical by the determinism
 anchor above, shared memory only changes who computes the traces.
+
+Sweep-shared traces (:class:`SharedTraces`): the grid sweep engine
+(:mod:`repro.simulation.sweep`) generates a group's trace set once and
+hands it to every scenario of the group via ``run(..., shared=...)`` —
+serial runs read the in-process trace list (ensemble row subsets via
+:meth:`TraceEnsemble.take`), parallel runs reuse the group's single shm
+publication.  Both channels carry the exact arrays the scenario would
+have generated itself, so sharing never changes results.
+
+Cost-model scheduling: work units are not all equal — a trace batch
+replaying a DP policy costs orders of magnitude more than a vectorized
+static-schedule replay.  The runner estimates each unit's cost (policy
+family x trace count x DP grid size, discounted by the persistent disk
+tier's lifetime hit rate), splits trace batches finer when units are
+expensive (dynamic chunking), and dispatches units longest-first (LPT)
+so a straggler never lands last on an otherwise idle pool.  Results are
+stitched by trace index, so dispatch order is invisible to results; the
+estimates and per-unit wall-clock land in ``ScenarioResult.scheduler``.
 """
 
 from __future__ import annotations
@@ -106,6 +124,7 @@ from repro.traces.generation import generate_platform_traces
 __all__ = [
     "ExecutionConfig",
     "ParallelRunner",
+    "SharedTraces",
     "get_default_execution",
     "set_default_execution",
     "resolve_jobs",
@@ -185,6 +204,65 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+@dataclass
+class SharedTraces:
+    """A scenario trace set owned by someone else (the sweep engine).
+
+    ``traces`` / ``ensemble`` are in-process references used on the
+    serial path (``jobs <= 1``); ``layout`` is the shared-memory recipe
+    parallel workers attach to.  Either channel delivers exactly the
+    arrays the scenario would have generated from the determinism
+    anchor, so handing a runner a ``SharedTraces`` can never change
+    results — only who pays for generation and compilation.  The owner
+    keeps the publication alive for the runner's whole ``run()`` and
+    unlinks it afterwards.
+    """
+
+    traces: list | None = None
+    ensemble: TraceEnsemble | None = None
+    layout: object | None = None
+
+
+# ----------------------------------------------------------------------
+# per-unit cost model (estimates only: scheduling, never results)
+# ----------------------------------------------------------------------
+
+#: Relative cost of replaying one trace under a DP policy with the
+#: reference grid (n_grid=96) versus one vectorized static-schedule
+#: replay.  Order-of-magnitude calibration from BENCH_dp: adaptive
+#: replays are dominated by replan solves, static replays are a few
+#: array passes.
+_DP_TRACE_WEIGHT = 48.0
+
+
+def _policy_weight(policy, disk_discount: float) -> float:
+    """Estimated per-trace replay cost of ``policy`` (1.0 = one
+    vectorized static-schedule replay).  DP policies scale with their
+    grid resolution and are discounted by the persistent solve tier's
+    observed hit rate — a warm tier turns most solves into loads."""
+    n_grid = getattr(policy, "n_grid", None)
+    if n_grid is None:
+        return 1.0
+    return max(1.0, _DP_TRACE_WEIGHT * (float(n_grid) / 96.0) * disk_discount)
+
+
+def _disk_discount(use_disk_cache: bool) -> float:
+    """Fraction of a DP policy's solve cost expected to be actually
+    paid, calibrated from the disk tier's lifetime hit counters: a tier
+    that historically answers 80% of lookups makes adaptive units ~5x
+    cheaper than their cold estimate.  Returns 1.0 (no discount) when
+    the tier is off or unreadable; floor 0.1 keeps even a perfectly
+    warm tier's units ordered above static replays."""
+    if not use_disk_cache:
+        return 1.0
+    try:
+        lifetime = get_disk_cache().usage()["lifetime"]
+        rate = float(lifetime.get("hit_rate", 0.0))
+    except Exception:
+        return 1.0
+    return max(0.1, 1.0 - 0.9 * min(max(rate, 0.0), 1.0))
+
+
 # ----------------------------------------------------------------------
 # work units (module level: picklable by ProcessPoolExecutor)
 # ----------------------------------------------------------------------
@@ -210,17 +288,31 @@ def _task_traces(
     t0: float,
     use_batch: bool,
     layout,
+    local: SharedTraces | None = None,
 ):
     """Materialize a work unit's traces + compiled ensemble.
 
-    Preferred source: the scenario's shared-memory publication
+    Preferred sources, in order: an in-process :class:`SharedTraces`
+    (``local``, serial sweep groups — never crosses a process
+    boundary), then the scenario's shared-memory publication
     (``layout``) — attach, copy the unit's rows, detach.  Fallback (no
     layout, or any attach failure): regenerate from the determinism
-    anchor and compile per batch, exactly the pre-shm path.  Both
+    anchor and compile per batch, exactly the pre-shm path.  All
     sources yield bit-identical traces, and a row subset of the global
     ensemble is replay-equivalent to a per-batch compilation (padding
     columns are inert), so the choice never affects results.
     """
+    if local is not None and local.traces is not None:
+        traces = [local.traces[i] for i in indices]
+        if use_batch and traces:
+            ensemble = (
+                local.ensemble.take(indices)
+                if local.ensemble is not None
+                else TraceEnsemble(traces, platform.recovery, t0)
+            )
+        else:
+            ensemble = None
+        return traces, ensemble
     if layout is not None:
         try:
             with _shm.attach_scenario(layout) as scenario:
@@ -263,6 +355,9 @@ class _TraceTask:
     use_disk_cache: bool = True
     collect_memo_delta: bool = False
     layout: object | None = None
+    # in-process trace source (sweep groups, jobs<=1); never pickled —
+    # parallel dispatch always leaves it None and uses ``layout``
+    local: SharedTraces | None = None
 
 
 @dataclass
@@ -283,9 +378,12 @@ class _TraceTaskResult:
     # replan-memo entries this unit added (shipped back for the parent
     # to merge; empty unless collect_memo_delta was set)
     memo_delta: list = field(default_factory=list)
+    # wall-clock the unit took in its worker (scheduler diagnostics)
+    unit_seconds: float = 0.0
 
 
 def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
+    unit_start = time.perf_counter()  # reprolint: clock-ok=scheduler diagnostics
     configure_cache(enabled=task.use_cache)
     configure_replan_memo(enabled=task.use_memo)
     configure_disk_cache(enabled=task.use_disk_cache)
@@ -308,6 +406,7 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
         task.t0,
         task.use_batch,
         task.layout,
+        task.local,
     )
     for policy in task.policies:
         results = simulate_policy_ensemble(
@@ -370,6 +469,7 @@ def _run_trace_task(task: _TraceTask) -> _TraceTaskResult:
         memo_delta=(
             _shm.export_memo_delta(memo_keys) if memo_keys is not None else []
         ),
+        unit_seconds=time.perf_counter() - unit_start,  # reprolint: clock-ok=scheduler diagnostics
     )
 
 
@@ -392,6 +492,8 @@ class _PeriodTask:
     use_disk_cache: bool = True
     collect_memo_delta: bool = False
     layout: object | None = None
+    # in-process trace source (sweep groups, jobs<=1); never pickled
+    local: SharedTraces | None = None
 
 
 @dataclass
@@ -405,9 +507,11 @@ class _PeriodTaskResult:
     disk_misses: int = 0
     disk_evictions: int = 0
     memo_delta: list = field(default_factory=list)
+    unit_seconds: float = 0.0
 
 
 def _run_period_task(task: _PeriodTask) -> _PeriodTaskResult:
+    unit_start = time.perf_counter()  # reprolint: clock-ok=scheduler diagnostics
     configure_cache(enabled=task.use_cache)
     configure_replan_memo(enabled=task.use_memo)
     configure_disk_cache(enabled=task.use_disk_cache)
@@ -426,6 +530,7 @@ def _run_period_task(task: _PeriodTask) -> _PeriodTaskResult:
         task.t0,
         task.use_batch,
         task.layout,
+        task.local,
     )
     means = []
     for period in task.periods:
@@ -463,6 +568,7 @@ def _run_period_task(task: _PeriodTask) -> _PeriodTaskResult:
         memo_delta=(
             _shm.export_memo_delta(memo_keys) if memo_keys is not None else []
         ),
+        unit_seconds=time.perf_counter() - unit_start,  # reprolint: clock-ok=scheduler diagnostics
     )
 
 
@@ -513,6 +619,12 @@ class ParallelRunner:
         as the best current estimate, not a constant.  Used by the
         scenario service for its status/stream JSON; never affects
         results.  Exceptions raised by the callback propagate.
+    executor:
+        Optional externally-owned ``ProcessPoolExecutor`` to dispatch
+        on instead of spinning one pool per phase.  The sweep engine
+        passes one pool for a whole grid, amortizing worker startup
+        over every scenario; the caller owns its shutdown.  Ignored on
+        serial runs.
     """
 
     def __init__(
@@ -525,6 +637,7 @@ class ParallelRunner:
         use_shm: bool | None = None,
         use_disk_cache: bool | None = None,
         progress: Callable[[int, int], None] | None = None,
+        executor: ProcessPoolExecutor | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.batch_size = (
@@ -546,8 +659,13 @@ class ParallelRunner:
             else bool(use_disk_cache)
         )
         self.progress = progress
+        self._executor = executor
         self._units_done = 0
         self._units_total = 0
+        # per-unit cost estimates and measured seconds, accumulated
+        # across phases for ScenarioResult.scheduler
+        self._sched_costs: list[float] = []
+        self._sched_seconds: list[float] = []
 
     # -- internal dispatch ---------------------------------------------
 
@@ -556,31 +674,91 @@ class ParallelRunner:
         if self.progress is not None:
             self.progress(self._units_done, self._units_total)
 
-    def _map(self, fn, tasks: list):
+    def _map(self, fn, tasks: list, costs: list[float] | None = None):
         """Run ``fn`` over ``tasks``, in process or on the pool; results
         come back in task order either way.  Each completed task ticks
-        the progress callback."""
+        the progress callback.
+
+        ``costs`` (estimated per-unit cost, same length as ``tasks``)
+        turns on longest-first dispatch: units are *submitted* in
+        descending cost order (LPT — workers pick up the expensive
+        stragglers first), while collection stays in task order, so
+        callers that rely on order (period means) see no difference.
+        """
         self._units_total += len(tasks)
+        if costs is not None:
+            self._sched_costs.extend(costs)
         if self.jobs <= 1 or len(tasks) <= 1:
             out = []
             for t in tasks:
                 out.append(fn(t))
                 self._unit_done()
             return out
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        order = list(range(len(tasks)))
+        if costs is not None:
+            order.sort(key=lambda i: (-costs[i], i))
+        if self._executor is not None:
+            pool, owns = self._executor, False
+        else:
+            workers = min(self.jobs, len(tasks))
+            pool, owns = ProcessPoolExecutor(max_workers=workers), True
+        try:
+            futures = {i: pool.submit(fn, tasks[i]) for i in order}
             out = []
-            for result in pool.map(fn, tasks):
-                out.append(result)
+            for i in range(len(tasks)):
+                out.append(futures[i].result())
                 self._unit_done()
             return out
+        finally:
+            if owns:
+                pool.shutdown()
 
-    def _trace_batches(self, indices: list[int]) -> list[list[int]]:
+    def _trace_batches(
+        self, indices: list[int], per_trace_cost: float = 1.0
+    ) -> list[list[int]]:
+        """Split trace indices into work units.
+
+        An explicit ``batch_size`` wins.  Otherwise the granularity
+        adapts to the estimated per-trace cost: cheap vectorized
+        replays stay chunky (~4 units per worker, little IPC), while
+        expensive adaptive replays split finer — imbalance there costs
+        whole DP solves, and the extra dispatch overhead is noise next
+        to one unit's runtime.  Batching never affects results (traces
+        are stitched back by index).
+        """
         if self.batch_size is not None:
             size = max(1, int(self.batch_size))
         else:
-            size = max(1, math.ceil(len(indices) / max(1, self.jobs * 4)))
+            units_per_worker = int(
+                min(16, max(4, round(2.0 * math.sqrt(max(per_trace_cost, 1.0)))))
+            )
+            size = max(
+                1, math.ceil(len(indices) / max(1, self.jobs * units_per_worker))
+            )
         return _chunk(indices, size)
+
+    def _scheduler_stats(self) -> dict:
+        """JSON-ready summary of the run's unit cost estimates and
+        measured unit wall-clock (max/mean imbalance)."""
+        costs = self._sched_costs
+        seconds = [s for s in self._sched_seconds if s > 0.0]
+        stats: dict = {
+            "units": len(costs),
+            "longest_first": self.jobs > 1,
+        }
+        if costs:
+            mean = sum(costs) / len(costs)
+            stats["est_cost_max"] = max(costs)
+            stats["est_cost_mean"] = mean
+            stats["est_imbalance"] = max(costs) / mean if mean > 0 else 1.0
+        if seconds:
+            mean_s = sum(seconds) / len(seconds)
+            stats["unit_seconds_max"] = max(seconds)
+            stats["unit_seconds_mean"] = mean_s
+            stats["seconds_imbalance"] = (
+                max(seconds) / mean_s if mean_s > 0 else 1.0
+            )
+        return stats
 
     # -- public API ----------------------------------------------------
 
@@ -598,13 +776,22 @@ class ParallelRunner:
         period_lb_factors: list[float] | None = None,
         period_lb_traces: int | None = None,
         max_makespan: float = math.inf,
+        shared: SharedTraces | None = None,
     ):
         """Run ``policies`` over ``n_traces`` generated traces; see
-        :func:`repro.simulation.runner.run_scenarios` for semantics."""
+        :func:`repro.simulation.runner.run_scenarios` for semantics.
+
+        ``shared`` hands the runner a pre-built trace set (sweep
+        groups): generation/publication is skipped and the caller keeps
+        the backing publication alive for the duration of the call.
+        Bit-identical to self-generation by the determinism anchor.
+        """
         # diagnostic elapsed-time only; never feeds simulation state
         start = time.perf_counter()  # reprolint: clock-ok=diagnostic elapsed time
         self._units_done = 0
         self._units_total = 0
+        self._sched_costs = []
+        self._sched_seconds = []
         prior_enabled = get_cache().enabled
         prior_memo = get_replan_memo().enabled
         prior_disk = get_disk_cache().enabled
@@ -626,6 +813,7 @@ class ParallelRunner:
                 period_lb_traces,
                 max_makespan,
                 start,
+                shared,
             )
         finally:
             configure_cache(enabled=prior_enabled)
@@ -647,12 +835,21 @@ class ParallelRunner:
         period_lb_traces,
         max_makespan,
         start,
+        shared=None,
     ):
         # Publish the scenario's traces (and compiled ensemble) once so
         # workers attach instead of regenerating per task.  Serial runs
         # skip it: the in-process path touches each trace exactly once.
+        # A sweep-shared trace set short-circuits both: the group owner
+        # already generated (and, with jobs>1, published) the arrays.
         publication = None
-        if self.use_shm and self.jobs > 1 and n_traces > 0:
+        layout = None
+        local = None
+        if shared is not None:
+            layout = shared.layout
+            if self.jobs <= 1:
+                local = shared
+        elif self.use_shm and self.jobs > 1 and n_traces > 0:
             try:
                 all_traces = [
                     _job_trace(platform, horizon, seed, i)
@@ -672,10 +869,12 @@ class ParallelRunner:
                     recovery=platform.recovery,
                     t0=t0,
                 )
+                layout = publication.layout
             except Exception:
                 # no shared memory on this platform / size limits: fall
                 # back to per-task regeneration (bit-identical)
                 publication = None
+                layout = None
         try:
             return self._run_phases(
                 policies,
@@ -691,7 +890,9 @@ class ParallelRunner:
                 period_lb_traces,
                 max_makespan,
                 start,
-                publication.layout if publication is not None else None,
+                layout,
+                local,
+                shared is not None,
             )
         finally:
             if publication is not None:
@@ -713,11 +914,26 @@ class ParallelRunner:
         max_makespan,
         start,
         layout,
+        local=None,
+        from_shared=False,
     ):
         # Imported here: runner imports this module's config helpers, so
         # a module-level import would be circular.
         from repro.simulation.runner import LOWER_BOUND, PERIOD_LB, ScenarioResult
         from repro.simulation.runner import _optexp_period
+
+        # Per-trace cost estimate drives chunk granularity and the
+        # longest-first dispatch order; the disk-tier discount is read
+        # once (it walks the tier directory) and only when an adaptive
+        # policy makes it matter.
+        discount = (
+            _disk_discount(self.use_disk_cache)
+            if any(getattr(p, "n_grid", None) is not None for p in policies)
+            else 1.0
+        )
+        per_trace_cost = sum(_policy_weight(p, discount) for p in policies)
+        if include_lower_bound:
+            per_trace_cost += 1.0
 
         hits = misses = 0
         memo_hits = memo_misses = 0
@@ -738,6 +954,7 @@ class ParallelRunner:
             disk_hits += res.disk_hits
             disk_misses += res.disk_misses
             disk_evictions += res.disk_evictions
+            self._sched_seconds.append(res.unit_seconds)
             if res.memo_delta:
                 _shm.merge_memo_delta(res.memo_delta)
                 merged_keys.update(key for key, _value in res.memo_delta)
@@ -760,10 +977,15 @@ class ParallelRunner:
                 use_disk_cache=self.use_disk_cache,
                 collect_memo_delta=collect_delta,
                 layout=layout,
+                local=local,
             )
-            for batch in self._trace_batches(indices)
+            for batch in self._trace_batches(indices, per_trace_cost)
         ]
-        results = self._map(_run_trace_task, tasks)
+        results = self._map(
+            _run_trace_task,
+            tasks,
+            costs=[len(t.indices) * per_trace_cost for t in tasks],
+        )
 
         makespans: dict[str, np.ndarray] = {
             p.name: np.full(n_traces, np.nan) for p in policies
@@ -818,11 +1040,18 @@ class ParallelRunner:
                     use_disk_cache=self.use_disk_cache,
                     collect_memo_delta=collect_delta,
                     layout=layout,
+                    local=local,
                 )
                 for batch in _chunk(list(periods), per_unit)
             ]
+            # candidate periods replay vectorized (weight 1 per trace)
+            period_costs = [
+                len(t.periods) * len(t.subset_indices) for t in period_tasks
+            ]
             means: list[float] = []
-            for period_res in self._map(_run_period_task, period_tasks):
+            for period_res in self._map(
+                _run_period_task, period_tasks, costs=period_costs
+            ):
                 means.extend(period_res.means)
                 _absorb(period_res)
             best = int(np.argmin(means))
@@ -845,16 +1074,33 @@ class ParallelRunner:
                     use_disk_cache=self.use_disk_cache,
                     collect_memo_delta=collect_delta,
                     layout=layout,
+                    local=local,
                 )
                 for batch in self._trace_batches(indices)
             ]
             lb_period_spans = np.full(n_traces, np.nan)
-            for res in self._map(_run_trace_task, winner_tasks):
+            for res in self._map(
+                _run_trace_task,
+                winner_tasks,
+                costs=[float(len(t.indices)) for t in winner_tasks],
+            ):
                 _absorb(res)
                 for index, (span, _det) in zip(res.indices, res.per_policy[PERIOD_LB]):
                     lb_period_spans[index] = span
             makespans[PERIOD_LB] = lb_period_spans
 
+        # Shared traces count as reused only when a sharing channel was
+        # actually wired up: the in-process list (serial) or the group's
+        # shm layout (parallel) — jobs>1 without a layout regenerates.
+        trace_gen_reused = from_shared and (local is not None or layout is not None)
+        ensemble_reused = bool(
+            trace_gen_reused
+            and self.use_batch
+            and (
+                (local is not None and local.ensemble is not None)
+                or (layout is not None and getattr(layout, "has_ensemble", False))
+            )
+        )
         return ScenarioResult(
             makespans=makespans,
             details=details,
@@ -873,4 +1119,7 @@ class ParallelRunner:
             disk_hits=disk_hits,
             disk_misses=disk_misses,
             disk_evictions=disk_evictions,
+            trace_gen_reused=trace_gen_reused,
+            ensemble_reused=ensemble_reused,
+            scheduler=self._scheduler_stats(),
         )

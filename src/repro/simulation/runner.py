@@ -27,7 +27,12 @@ from repro.core.theory import optimal_num_chunks
 from repro.policies.base import Policy
 from repro.simulation.results import SimulationResult
 
-__all__ = ["ScenarioResult", "run_scenarios"]
+__all__ = [
+    "COUNTER_FIELDS",
+    "ScenarioResult",
+    "aggregate_counters",
+    "run_scenarios",
+]
 
 LOWER_BOUND = "LowerBound"
 PERIOD_LB = "PeriodLB"
@@ -79,6 +84,16 @@ class ScenarioResult:
         Persistent solve-tier activity (:mod:`repro.core.diskcache`)
         during the run, aggregated over all workers; all zero when the
         tier is disabled (``use_disk_cache=False``).
+    trace_gen_reused / ensemble_reused:
+        True when the run consumed a sweep group's shared trace set /
+        compiled ensemble (:mod:`repro.simulation.sweep`) instead of
+        generating or compiling its own.  Execution metadata only —
+        never part of the comparable result payload.
+    scheduler:
+        Cost-model dispatch diagnostics: unit count, estimated-cost
+        max/mean/imbalance and measured per-unit seconds (see
+        :class:`~repro.simulation.parallel.ParallelRunner`).  Execution
+        metadata only.
     """
 
     makespans: dict[str, np.ndarray]
@@ -96,10 +111,49 @@ class ScenarioResult:
     disk_hits: int = 0
     disk_misses: int = 0
     disk_evictions: int = 0
+    trace_gen_reused: bool = False
+    ensemble_reused: bool = False
+    scheduler: dict = field(default_factory=dict)
 
     def policy_names(self) -> list[str]:
         """Every recorded policy, including LowerBound/PeriodLB."""
         return list(self.makespans)
+
+
+#: Counter fields summed by :func:`aggregate_counters`.
+COUNTER_FIELDS = (
+    "cache_hits",
+    "cache_misses",
+    "memo_hits",
+    "memo_misses",
+    "memo_unique_misses",
+    "disk_hits",
+    "disk_misses",
+    "disk_evictions",
+)
+
+
+def aggregate_counters(results) -> dict:
+    """Run-level counter roll-up over several :class:`ScenarioResult`.
+
+    Multi-scenario commands (``repro sweep``, ``repro benchmark``)
+    previously reported cache/memo/disk counters only per scenario;
+    this sums them into one summary block for the CLI envelope.  Note
+    ``memo_unique_misses`` is deduplicated *within* each scenario, so
+    the sum counts a signature once per scenario that solved it — a
+    signature served from the parent memo in a later scenario is a hit
+    there, not another unique miss.
+    """
+    results = list(results)
+    totals: dict = {
+        name: int(sum(getattr(res, name) for res in results))
+        for name in COUNTER_FIELDS
+    }
+    totals["scenarios"] = len(results)
+    totals["elapsed"] = float(
+        sum(res.elapsed for res in results if math.isfinite(res.elapsed))
+    )
+    return totals
 
 
 def _optexp_period(platform: Platform, work_time: float) -> float:
@@ -129,6 +183,8 @@ def run_scenarios(
     use_shm: bool | None = None,
     use_disk_cache: bool | None = None,
     progress: Callable[[int, int], None] | None = None,
+    shared=None,
+    executor=None,
 ) -> ScenarioResult:
     """Run ``policies`` over ``n_traces`` freshly generated traces.
 
@@ -155,6 +211,10 @@ def run_scenarios(
     tier only moves solves between processes, never changes them.
     ``progress`` is an optional ``(done, total)`` work-unit callback
     (see :class:`~repro.simulation.parallel.ParallelRunner`).
+    ``shared`` hands the runner a pre-built
+    :class:`~repro.simulation.parallel.SharedTraces` (sweep groups) and
+    ``executor`` an externally-owned process pool — both are execution
+    plumbing that cannot change results.
     """
     # Imported here: parallel drives the engine and policies, so a
     # module-level import would be circular through the package inits.
@@ -169,6 +229,7 @@ def run_scenarios(
         use_shm=use_shm,
         use_disk_cache=use_disk_cache,
         progress=progress,
+        executor=executor,
     )
     return runner.run(
         policies,
@@ -183,4 +244,5 @@ def run_scenarios(
         period_lb_factors=period_lb_factors,
         period_lb_traces=period_lb_traces,
         max_makespan=max_makespan,
+        shared=shared,
     )

@@ -108,6 +108,13 @@ class ScenarioPublication:
         self._shm = shm
         self.layout = layout
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment in bytes (sweep/runner stats:
+        with grouped scenarios this is paid once per group, not once
+        per grid point)."""
+        return self._shm.size
+
     def close(self) -> None:
         """Release and remove the segment (idempotent)."""
         with contextlib.suppress(Exception):

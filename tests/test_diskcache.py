@@ -169,6 +169,42 @@ class TestEviction:
         # a 1-byte budget can hold nothing: every store evicts
         assert cache.stats().evictions >= 1
 
+    def test_load_bumps_mtime_explicitly(self, cache):
+        """A hit must refresh the entry's mtime — recency survives
+        ``noatime``-mounted filesystems where atime never moves."""
+        import os
+
+        cache.store("dp", KEY, _arrays())
+        path = cache._entry_path("dp", key_digest("dp", KEY))
+        ancient = 1_000_000.0
+        os.utime(path, (ancient, ancient))
+        assert cache.load("dp", KEY) is not None
+        assert path.stat().st_mtime > ancient
+
+    def test_eviction_orders_by_mtime_not_atime(self, tmp_path):
+        """Regression: eviction recency is st_mtime.  st_atime lies on
+        noatime/relatime mounts, so an entry whose atime looks fresh
+        but whose mtime is oldest must still be the one evicted."""
+        import os
+        import time
+
+        cache = DiskSolveCache(root=tmp_path)
+        cache.store("dp", ("a",), _arrays(1))
+        cache.store("dp", ("b",), _arrays(2))
+        path_a = cache._entry_path("dp", key_digest("dp", ("a",)))
+        path_b = cache._entry_path("dp", key_digest("dp", ("b",)))
+        now = time.time()
+        # a: oldest mtime but freshest atime (what a misleading atime
+        # source would report); b: newer mtime, ancient atime
+        os.utime(path_a, (now + 1000.0, 1_000_000.0))
+        os.utime(path_b, (1.0, 2_000_000.0))
+        # budget fits exactly two entries: storing c must evict one
+        cache.max_bytes = path_a.stat().st_size + path_b.stat().st_size
+        cache.store("dp", ("c",), _arrays(3))
+        assert not path_a.exists()  # oldest mtime went first
+        assert cache.load("dp", ("b",)) is not None
+        assert cache.load("dp", ("c",)) is not None
+
     def test_usage_reports_entries_and_bytes(self, cache):
         cache.store("dp", ("a",), _arrays(1))
         cache.store("replan", ("b",), _arrays(2))

@@ -49,9 +49,14 @@ _CASES = [
     (["store"], 0),
     (["store", "--wipe-solves"], 0),
     (["store", "--wipe"], 0),
+    (["sweep", *_TINY, "--grid", "checkpoint=5m,10m"], 0),
+    (["sweep", *_TINY, "--grid", "checkpoint=5m", "--no-sweep-plan"], 0),
     # failure paths: still exactly one envelope on stdout
     (["run", "--override", "mtbf=-1"], 2),
     (["run", "--override", "nosuchfield=1"], 2),
+    (["sweep", *_TINY, "--grid", "nosuchfield=1"], 2),
+    (["sweep", *_TINY, "--grid", "checkpoint=5m", "--submit",
+      "--endpoint", "http://127.0.0.1:1"], 2),
     (["submit", *_TINY, "--endpoint", "http://127.0.0.1:1"], 2),
     (["status", "job-000001", "--endpoint", "http://127.0.0.1:1"], 2),
     (["result", "job-000001", "--endpoint", "http://127.0.0.1:1"], 2),

@@ -321,6 +321,145 @@ class TestJobQueue:
 
 
 # ----------------------------------------------------------------------
+# batch submit (queue level)
+# ----------------------------------------------------------------------
+
+
+class TestBatchQueue:
+    def _grid(self):
+        from repro.service.spec import expand_grid
+
+        return expand_grid(dict(TINY), {
+            "checkpoint": [300.0, 600.0], "seed": [0, 1],
+        })
+
+    def test_submit_batch_groups_runs_and_archives(self, store):
+        q = JobQueue(store=store, workers=1)
+        try:
+            batch = q.submit_batch(self._grid())
+            assert batch.plan["n_points"] == 4
+            assert batch.plan["n_groups"] == 2  # seed axis splits traces
+            assert q.wait_batch(batch.batch_id, timeout=120)
+            status = q.batch_status(batch.batch_id)
+            assert status["state"] == "done"
+            assert status["states"] == {"done": 4}
+            assert status["counters"]["scenarios"] == 4
+            for job in status["jobs"]:
+                assert q.result(job["job_id"])["format"] == "repro.result/1"
+        finally:
+            q.shutdown()
+
+    def test_batch_results_identical_to_individual_submits(self, store,
+                                                           tmp_path):
+        from repro.service.serialize import comparable_result_payload
+
+        def canon(doc):
+            return json.dumps(comparable_result_payload(doc),
+                              sort_keys=True)
+
+        specs = self._grid()
+        q = JobQueue(store=store, workers=1)
+        try:
+            batch = q.submit_batch(specs)
+            assert q.wait_batch(batch.batch_id, timeout=120)
+            via_batch = [canon(q.result(j)) for j in batch.job_ids]
+        finally:
+            q.shutdown()
+        solo = JobQueue(
+            store=ResultStore(tmp_path / "solo-store"), workers=1
+        )
+        try:
+            jobs = [solo.submit(spec) for spec in specs]
+            for job in jobs:
+                assert solo.wait(job.job_id, timeout=120)
+            via_solo = [canon(solo.result(job.job_id)) for job in jobs]
+        finally:
+            solo.shutdown()
+        assert via_batch == via_solo
+
+    def test_resubmitted_batch_is_all_cached(self, store):
+        q = JobQueue(store=store, workers=1)
+        try:
+            first = q.submit_batch(self._grid())
+            assert q.wait_batch(first.batch_id, timeout=120)
+            again = q.submit_batch(self._grid())
+            assert again.plan["cached"] == 4
+            assert again.plan["new_jobs"] == 0
+            assert again.plan["n_groups"] == 0  # nothing left to execute
+            assert q.batch_status(again.batch_id)["state"] == "done"
+        finally:
+            q.shutdown()
+
+    def test_duplicate_points_coalesce_within_batch(self, store):
+        spec = ScenarioSpec(**TINY)
+        q = JobQueue(store=store, workers=1)
+        try:
+            batch = q.submit_batch([spec, spec, spec])
+            assert batch.plan["n_points"] == 3
+            assert batch.plan["new_jobs"] == 1
+            assert batch.plan["coalesced"] == 2
+            assert len(batch.point_jobs) == 3
+            assert len(set(batch.point_jobs)) == 1
+            assert batch.job_ids == [batch.point_jobs[0]]
+            assert q.wait_batch(batch.batch_id, timeout=120)
+        finally:
+            q.shutdown()
+
+    def test_member_failure_marks_batch_failed(self, store, monkeypatch):
+        def boom(self, **kwargs):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(ScenarioSpec, "run", boom)
+        q = JobQueue(store=store, workers=1)
+        try:
+            batch = q.submit_batch(self._grid())
+            assert q.wait_batch(batch.batch_id, timeout=120)
+            status = q.batch_status(batch.batch_id)
+            assert status["state"] == "failed"
+            assert status["states"]["failed"] == 4
+            job = q.status(batch.job_ids[0])
+            assert job["error"] == "RuntimeError: solver exploded"
+        finally:
+            q.shutdown()
+
+    def test_empty_batch_rejected(self, store):
+        q = JobQueue(store=store, workers=1)
+        try:
+            with pytest.raises(ValueError):
+                q.submit_batch([])
+            with pytest.raises(KeyError):
+                q.batch_status("batch-999999")
+        finally:
+            q.shutdown()
+
+    def test_no_sweep_plan_batch_still_bit_identical(self, store,
+                                                     tmp_path):
+        from repro.service.serialize import comparable_result_payload
+
+        specs = self._grid()
+        q = JobQueue(store=store, workers=1)
+        try:
+            batch = q.submit_batch(specs, use_sweep_plan=False)
+            assert batch.plan["use_sweep_plan"] is False
+            assert q.wait_batch(batch.batch_id, timeout=120)
+            a = [json.dumps(comparable_result_payload(q.result(j)),
+                            sort_keys=True) for j in batch.job_ids]
+        finally:
+            q.shutdown()
+        planned = JobQueue(
+            store=ResultStore(tmp_path / "planned-store"), workers=1
+        )
+        try:
+            other = planned.submit_batch(specs)
+            assert planned.wait_batch(other.batch_id, timeout=120)
+            b = [json.dumps(comparable_result_payload(planned.result(j)),
+                            sort_keys=True) for j in other.job_ids]
+        finally:
+            planned.shutdown()
+        assert a == b
+
+
+# ----------------------------------------------------------------------
 # daemon end-to-end (HTTP over an ephemeral port)
 # ----------------------------------------------------------------------
 
@@ -422,3 +561,76 @@ class TestDaemonEndToEnd:
             assert client.health()["ok"] is True
         finally:
             d.stop()
+
+
+# ----------------------------------------------------------------------
+# daemon batch routes (/v1/batches)
+# ----------------------------------------------------------------------
+
+
+class TestDaemonBatches:
+    @pytest.fixture
+    def daemon(self, store):
+        from repro.service.daemon import ServiceDaemon
+
+        queue = JobQueue(store=store, workers=1)
+        d = ServiceDaemon(queue=queue, host="127.0.0.1", port=0)
+        d.start()
+        yield d
+        d.stop()
+
+    @pytest.fixture
+    def client(self, daemon):
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(endpoint=daemon.endpoint)
+
+    def test_base_grid_expanded_server_side(self, client):
+        env = client.submit_batch(
+            base=dict(TINY),
+            grid={"checkpoint": [300.0, 600.0], "seed": [0, 1]},
+        )
+        assert env["ok"] is True
+        data = env["data"]
+        assert data["n_points"] == 4
+        assert data["n_groups"] == 2
+        final = client.wait_batch(data["batch_id"], timeout=120)
+        assert final["data"]["state"] == "done"
+        assert final["data"]["counters"]["scenarios"] == 4
+        # every member result is fetchable through the job routes
+        for job in final["data"]["jobs"]:
+            doc = client.result(job["job_id"])["data"]["result"]
+            assert doc["format"] == "repro.result/1"
+
+    def test_explicit_spec_list(self, client):
+        specs = [dict(TINY), {**TINY, "seed": 1}]
+        env = client.submit_batch(specs=specs)
+        assert env["ok"] is True
+        assert env["data"]["n_points"] == 2
+        final = client.wait_batch(env["data"]["batch_id"], timeout=120)
+        assert final["data"]["state"] == "done"
+
+    def test_batches_listing(self, client):
+        env = client.submit_batch(specs=[dict(TINY)])
+        client.wait_batch(env["data"]["batch_id"], timeout=120)
+        listing = client.batches()
+        assert listing["ok"] is True
+        assert any(b["batch_id"] == env["data"]["batch_id"]
+                   for b in listing["data"]["batches"])
+
+    def test_empty_body_is_http_400(self, client):
+        env = client.request("POST", "/v1/batches", {})
+        assert env["ok"] is False
+        assert env["exit_code"] == 2
+
+    def test_specs_and_grid_together_rejected(self, client):
+        env = client.request("POST", "/v1/batches", {
+            "specs": [dict(TINY)], "base": dict(TINY),
+            "grid": {"seed": [0]},
+        })
+        assert env["ok"] is False
+
+    def test_unknown_batch_is_http_404(self, client):
+        env = client.batch_status("batch-999999")
+        assert env["ok"] is False
+        assert env["error"]["type"] == "NotFound"
